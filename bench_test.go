@@ -1,0 +1,201 @@
+// Benchmarks regenerating each table and figure of the paper's
+// evaluation (Section VII). Each benchmark runs its experiment harness
+// on a reduced budget and reports the figure's headline metrics through
+// b.ReportMetric, so `go test -bench=.` doubles as a reproduction sweep.
+// The full-budget rows live behind `go run ./cmd/chopim <figN>`.
+package chopim_test
+
+import (
+	"testing"
+
+	"chopim/internal/experiments"
+	"chopim/internal/stats"
+)
+
+func benchOptions() experiments.Options { return experiments.QuickOptions() }
+
+// BenchmarkFig02IdleHistogram regenerates Figure 2: rank idle-time
+// breakdown across the Table II mixes.
+func BenchmarkFig02IdleHistogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig2(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: fraction of idle cycles in sub-250-cycle gaps for
+		// the most intensive mix (motivates fine-grain interleaving).
+		r := rows[1]
+		short := r.Fractions[stats.Idle1To10] + r.Fractions[stats.Idle10To100] + r.Fractions[stats.Idle100To250]
+		idle := 1 - r.Fractions[stats.Busy]
+		if idle > 0 {
+			b.ReportMetric(short/idle, "mix1-short-idle-frac")
+		}
+	}
+}
+
+// BenchmarkFig10CoarseGrain regenerates Figure 10: host IPC and NDA
+// bandwidth utilization versus NDA instruction granularity.
+func BenchmarkFig10CoarseGrain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig10(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		fine, coarse := rows[0], rows[len(rows)-1]
+		if fine.NDAUtil > 0 {
+			b.ReportMetric(coarse.NDAUtil/fine.NDAUtil, "coarse-vs-fine-NDA-BW")
+		}
+	}
+}
+
+// BenchmarkFig11BankPartitioning regenerates Figure 11: shared versus
+// partitioned banks under DOT and COPY.
+func BenchmarkFig11BankPartitioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[len(rows)-1]
+		if r.SharedDOT.NDAUtil > 0 {
+			b.ReportMetric(r.PartDOT.NDAUtil/r.SharedDOT.NDAUtil, "partitioning-DOT-gain")
+		}
+	}
+}
+
+// BenchmarkFig12WriteThrottling regenerates Figure 12: the write-issue
+// policy comparison under the write-intensive COPY.
+func BenchmarkFig12WriteThrottling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig12(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var nextRank, ifIdle experiments.Result
+		for _, p := range rows[len(rows)-1].Points {
+			switch p.Label {
+			case "Predict_next_rank":
+				nextRank = p.Res
+			case "Issue_if_idle":
+				ifIdle = p.Res
+			}
+		}
+		if ifIdle.HostIPC > 0 {
+			b.ReportMetric(nextRank.HostIPC/ifIdle.HostIPC, "nextrank-host-IPC-gain")
+		}
+	}
+}
+
+// BenchmarkFig13OpSweep regenerates Figure 13: Table I operations across
+// operand sizes and asynchronous launch.
+func BenchmarkFig13OpSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig13(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var small, async float64
+		for _, r := range rows {
+			if r.Op == "copy" && r.Size == "Small" {
+				small = r.NDAUtil
+			}
+			if r.Op == "copy" && r.Size == "Small+Async" {
+				async = r.NDAUtil
+			}
+		}
+		if small > 0 && async > 0 {
+			b.ReportMetric(async/small, "async-launch-gain")
+		}
+	}
+}
+
+// BenchmarkFig14Scalability regenerates Figure 14: Chopim versus rank
+// partitioning across rank counts and workloads.
+func BenchmarkFig14Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig14(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Workload == "dot" && r.RPNDABW > 0 {
+				b.ReportMetric(r.ChopimNDABW/r.RPNDABW, "chopim-vs-RP-NDA-BW")
+			}
+		}
+	}
+}
+
+// BenchmarkFig15aConvergence regenerates Figure 15a: SVRG convergence
+// trajectories under all execution modes.
+func BenchmarkFig15aConvergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		curves, optimum, err := experiments.Fig15a(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = optimum
+		if len(curves) != 7 {
+			b.Fatalf("got %d curves, want 7", len(curves))
+		}
+	}
+}
+
+// BenchmarkFig15bScaling regenerates Figure 15b: time-to-convergence
+// speedup versus NDA count.
+func BenchmarkFig15bScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig15b(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.SpeedupDelayed, "delayed-update-speedup")
+	}
+}
+
+// BenchmarkAblationLayout isolates the colored-layout contribution
+// (DESIGN.md §4 ablations): naive uncolored operands force host copies.
+func BenchmarkAblationLayout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationLayout(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[1].NDAUtil > 0 {
+			b.ReportMetric(rows[0].NDAUtil/rows[1].NDAUtil, "colored-vs-naive-NDA-BW")
+		}
+	}
+}
+
+// BenchmarkAblationWriteBuffer sweeps PE write-buffer capacity.
+func BenchmarkAblationWriteBuffer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationWriteBuffer(benchOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationLaunchModel toggles launch-packet modeling.
+func BenchmarkAblationLaunchModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationLaunchModel(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].NDAUtil > 0 {
+			b.ReportMetric(rows[1].NDAUtil/rows[0].NDAUtil, "free-vs-modeled-launch")
+		}
+	}
+}
+
+// BenchmarkPower regenerates the Section VII memory-power estimates.
+func BenchmarkPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Power(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].AvgPowerW, "concurrent-power-W")
+	}
+}

@@ -1,0 +1,252 @@
+// Command chopim regenerates the tables and figures of "Near Data
+// Acceleration with Concurrent Host Access" (ISCA 2020) on the simulated
+// system. Each subcommand prints the rows/series the paper reports.
+//
+// Usage:
+//
+//	chopim [-quick] [-warm N] [-measure N] <experiment>
+//
+// Experiments: fig2 fig10 fig11 fig12 fig13 fig14 fig15a fig15b power
+// config all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"chopim/internal/dram"
+	"chopim/internal/experiments"
+	"chopim/internal/stats"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced simulation budget")
+	warm := flag.Int64("warm", 0, "warm-up cycles (0 = default)")
+	measure := flag.Int64("measure", 0, "measurement cycles (0 = default)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: chopim [flags] <fig2|fig10|fig11|fig12|fig13|fig14|fig15a|fig15b|power|config|all>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := experiments.DefaultOptions()
+	if *quick {
+		opt = experiments.QuickOptions()
+	}
+	if *warm > 0 {
+		opt.WarmCycles = *warm
+	}
+	if *measure > 0 {
+		opt.MeasureCycles = *measure
+	}
+
+	cmds := map[string]func(experiments.Options) error{
+		"fig2":   runFig2,
+		"fig10":  runFig10,
+		"fig11":  runFig11,
+		"fig12":  runFig12,
+		"fig13":  runFig13,
+		"fig14":  runFig14,
+		"fig15a": runFig15a,
+		"fig15b": runFig15b,
+		"power":  runPower,
+		"config": runConfig,
+		"ablate": runAblate,
+	}
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, n := range []string{"config", "fig2", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15a", "fig15b", "power"} {
+			fmt.Printf("\n===== %s =====\n", n)
+			if err := cmds[n](opt); err != nil {
+				fmt.Fprintf(os.Stderr, "chopim %s: %v\n", n, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	run, ok := cmds[name]
+	if !ok {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(opt); err != nil {
+		fmt.Fprintf(os.Stderr, "chopim %s: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+func tw() *tabwriter.Writer {
+	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+func runFig2(opt experiments.Options) error {
+	rows, err := experiments.Fig2(opt)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprint(w, "mix")
+	for b := stats.IdleBucket(0); b < stats.NumIdleBuckets; b++ {
+		fmt.Fprintf(w, "\t%s", b)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprint(w, r.Mix)
+		for _, f := range r.Fractions {
+			fmt.Fprintf(w, "\t%.3f", f)
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}
+
+func runFig10(opt experiments.Options) error {
+	rows, err := experiments.Fig10(opt)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "ranks/ch\tblocks/instr\thost IPC\tNDA BW util")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%.3f\t%.3f\n", r.Ranks, r.BlocksPer, r.HostIPC, r.NDAUtil)
+	}
+	return w.Flush()
+}
+
+func runFig11(opt experiments.Options) error {
+	rows, err := experiments.Fig11(opt)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "mix\tconfig\thost IPC\tNDA BW util")
+	for _, r := range rows {
+		for _, c := range []struct {
+			name string
+			res  experiments.Result
+		}{
+			{"Shared+DOT", r.SharedDOT}, {"Shared+COPY", r.SharedCOPY},
+			{"Partitioned+DOT", r.PartDOT}, {"Partitioned+COPY", r.PartCOPY},
+		} {
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\n", r.Mix, c.name, c.res.HostIPC, c.res.NDAUtil)
+		}
+		fmt.Fprintf(w, "%s\tIdealized\t%.3f\t1.000\n", r.Mix, r.IdealHostIPC)
+	}
+	return w.Flush()
+}
+
+func runFig12(opt experiments.Options) error {
+	rows, err := experiments.Fig12(opt)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "mix\tpolicy\thost IPC\tNDA BW util")
+	for _, r := range rows {
+		for _, p := range r.Points {
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\n", r.Mix, p.Label, p.Res.HostIPC, p.Res.NDAUtil)
+		}
+	}
+	return w.Flush()
+}
+
+func runFig13(opt experiments.Options) error {
+	rows, err := experiments.Fig13(opt)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "op\tsize\thost IPC\tNDA BW util")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\n", r.Op, r.Size, r.HostIPC, r.NDAUtil)
+	}
+	return w.Flush()
+}
+
+func runFig14(opt experiments.Options) error {
+	rows, err := experiments.Fig14(opt)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "ranks/ch\tworkload\tChopim IPC\tChopim NDA GB/s\tRP IPC\tRP NDA GB/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%s\t%.3f\t%.2f\t%.3f\t%.2f\n",
+			r.Ranks, r.Workload, r.ChopimHostIPC, r.ChopimNDABW, r.RPHostIPC, r.RPNDABW)
+	}
+	return w.Flush()
+}
+
+func runFig15a(opt experiments.Options) error {
+	curves, optimum, err := experiments.Fig15a(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("optimum loss: %.9f\n", optimum)
+	w := tw()
+	fmt.Fprintln(w, "curve\ttime(s)\tloss-optimum")
+	for _, c := range curves {
+		for _, p := range c.Points {
+			fmt.Fprintf(w, "%s\t%.4f\t%.3e\n", c.Label, p.Seconds, p.Loss-optimum)
+		}
+	}
+	return w.Flush()
+}
+
+func runFig15b(opt experiments.Options) error {
+	rows, err := experiments.Fig15b(opt)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "NDAs\tACC_Best speedup\tDelayedUpdate speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%.2f\t%.2f\n", r.NDAs, r.SpeedupACCBest, r.SpeedupDelayed)
+	}
+	return w.Flush()
+}
+
+func runPower(opt experiments.Options) error {
+	rows, err := experiments.Power(opt)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "scenario\tavg power (W)\tACT (J)\thost IO (J)\tNDA IO (J)\tcompute (J)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.3f\t%.3e\t%.3e\t%.3e\t%.3e\n",
+			r.Scenario, r.AvgPowerW, r.Breakdown.ActivateJ, r.Breakdown.HostIOJ,
+			r.Breakdown.NDAIOJ, r.Breakdown.ComputeJ)
+	}
+	return w.Flush()
+}
+
+func runAblate(opt experiments.Options) error {
+	rows, err := experiments.Ablations(opt)
+	if err != nil {
+		return err
+	}
+	w := tw()
+	fmt.Fprintln(w, "study\tsetting\thost IPC\tNDA BW util\tnotes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\t%s\n", r.Study, r.Setting, r.HostIPC, r.NDAUtil, r.Extra)
+	}
+	return w.Flush()
+}
+
+func runConfig(experiments.Options) error {
+	g := dram.DefaultGeometry()
+	t := dram.DDR42400()
+	fmt.Printf("Table II system configuration\n")
+	fmt.Printf("geometry: %d channels x %d ranks, %d bank groups x %d banks, %d rows x %d blocks (%.0f GiB)\n",
+		g.Channels, g.Ranks, g.BankGroups, g.BanksPerGroup, g.Rows, g.Cols,
+		float64(g.Capacity())/(1<<30))
+	fmt.Printf("timing: %+v\n", t)
+	return nil
+}

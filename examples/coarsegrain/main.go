@@ -1,0 +1,55 @@
+// Coarse-grain NDA operations (Fig 10): sweep the vector width N (cache
+// blocks per NDA instruction) and watch launch-packet contention on the
+// host channel starve both sides at fine granularity — the motivation
+// for Chopim's coarse-grain ops and the colored data layout that makes
+// them possible.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chopim"
+	"chopim/internal/apps"
+)
+
+func main() {
+	fmt.Println("blocks/instr  host IPC  NDA idle-BW utilization  launches")
+	for _, n := range []int{1, 16, 256, 4096} {
+		cfg := chopim.DefaultConfig(1)
+		cfg.MaxBlocksPerInstr = n
+		sys, err := chopim.NewSystem(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		app, err := apps.NewMicroPlaced(sys.RT, "nrm2", 4096*64/4, chopim.Private)
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := app.Iterate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < 100_000; i++ {
+			sys.Tick()
+			if h.Done() {
+				if h, err = app.Iterate(); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		sys.BeginMeasurement()
+		busy0, blocks0 := sys.HostBusyCycles(), sys.NDABlocks()
+		launches0 := sys.RT.Launches
+		for i := 0; i < 200_000; i++ {
+			sys.Tick()
+			if h.Done() {
+				if h, err = app.Iterate(); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		util := sys.NDAUtilization(sys.HostBusyCycles()-busy0, sys.NDABlocks()-blocks0)
+		fmt.Printf("%12d  %8.2f  %23.2f  %8d\n", n, sys.HostIPC(), util, sys.RT.Launches-launches0)
+	}
+}

@@ -1,0 +1,261 @@
+// Package addrmap translates OS physical addresses into DRAM addresses
+// (channel, rank, bank group, bank, row, column).
+//
+// It provides the paper's two mappings:
+//
+//   - A Skylake-style baseline (Fig 4a): fine-grain channel interleaving
+//     and XOR hashing of bank/rank/channel bits with row bits, as reverse
+//     engineered by Pessl et al. (DRAMA).
+//   - The proposed mapping (Fig 4b) that additionally supports bank
+//     partitioning compatible with huge pages and arbitrary hashing: the
+//     most significant physical bits select only the row, and addresses
+//     whose hashed bank lands in a reserved bank have their bank bits and
+//     row MSBs swapped.
+//
+// It also exposes the PFN "color" bits that the OS/runtime use to keep NDA
+// operands rank-aligned (Section III-A).
+package addrmap
+
+import (
+	"fmt"
+
+	"chopim/internal/dram"
+)
+
+// Mapper decodes a physical address into a DRAM location.
+type Mapper interface {
+	Decode(pa uint64) dram.Addr
+	Geometry() dram.Geometry
+	// ColorBits returns the physical-address bit positions (all above the
+	// system-row offset) that influence channel/rank/bank selection. Two
+	// system-row-aligned allocations whose addresses agree on these bits
+	// interleave identically across the memory system.
+	ColorBits() []uint
+}
+
+// field describes one decoded output bit as the XOR of physical bits.
+type field struct {
+	bits [][]uint // per output bit, the physical bit positions XORed
+}
+
+func (f field) decode(pa uint64) int {
+	v := 0
+	for i, xs := range f.bits {
+		b := uint64(0)
+		for _, x := range xs {
+			b ^= pa >> x
+		}
+		v |= int(b&1) << i
+	}
+	return v
+}
+
+// XORMap is a generic linear (XOR-based) address mapping.
+type XORMap struct {
+	geom dram.Geometry
+
+	ch, rank, bg, bank, row, col field
+	colorBits                    []uint
+	rowMSBs                      []uint // top bank-field-width row physical bits
+}
+
+// log2 returns floor(log2(n)); n must be a positive power of two.
+func log2(n int) uint {
+	var k uint
+	for 1<<(k+1) <= n {
+		k++
+	}
+	if 1<<k != n {
+		panic(fmt.Sprintf("addrmap: %d is not a power of two", n))
+	}
+	return k
+}
+
+// NewSkylakeLike builds the baseline mapping for the given geometry:
+//
+//	block offset (6b) | col[0:2] | channel (hashed) | col[2:] |
+//	bank group (hashed) | bank (hashed) | rank (hashed) | row (direct)
+//
+// Channel, bank-group, bank, and rank bits are each XORed with low row
+// bits so that strided host access patterns spread across banks (the
+// permutation-based interleaving the paper assumes). The top row bits are
+// direct physical MSBs, which the proposed partitioned mapping requires.
+func NewSkylakeLike(g dram.Geometry) *XORMap {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	m := &XORMap{geom: g}
+	pos := uint(6) // 64B block offset
+
+	nCol := log2(g.Cols)
+	nCh := log2(g.Channels)
+	nBG := log2(g.BankGroups)
+	nBank := log2(g.BanksPerGroup)
+	nRank := log2(g.Ranks)
+	nRow := log2(g.Rows)
+
+	// Row bits start after all interleave fields.
+	rowBase := 6 + nCol + nCh + nBG + nBank + nRank
+	hash := rowBase // next row-region bit used as an XOR partner
+
+	take := func(n uint, hashed bool) field {
+		f := field{}
+		for i := uint(0); i < n; i++ {
+			bits := []uint{pos}
+			if hashed {
+				bits = append(bits, hash)
+				hash++
+			}
+			f.bits = append(f.bits, bits)
+			pos++
+		}
+		return f
+	}
+
+	colLow := uint(2)
+	if nCol < colLow {
+		colLow = nCol
+	}
+	fcolLow := take(colLow, false)
+	fch := take(nCh, true)
+	fcolHigh := take(nCol-colLow, false)
+	m.col = field{bits: append(fcolLow.bits, fcolHigh.bits...)}
+	m.ch = fch
+	m.bg = take(nBG, true)
+	m.bank = take(nBank, true)
+	m.rank = take(nRank, true)
+	if pos != rowBase {
+		panic("addrmap: internal layout error")
+	}
+	m.row = take(nRow, false)
+
+	// Color bits: every physical bit above the system-row offset that
+	// influences ch/rank/bg/bank. System row offset covers all bits below
+	// rowBase plus the hash partners consumed (hash partners sit at the
+	// bottom of the row region, inside the system-row span).
+	sysRowBits := log2(g.SystemRowBytes())
+	seen := map[uint]bool{}
+	for _, f := range []field{m.ch, m.rank, m.bg, m.bank} {
+		for _, xs := range f.bits {
+			for _, x := range xs {
+				if x >= sysRowBits && !seen[x] {
+					seen[x] = true
+					m.colorBits = append(m.colorBits, x)
+				}
+			}
+		}
+	}
+	// Record the top bank-field-width row physical bits for partitioning.
+	nBankField := nBG + nBank
+	top := pos // one past the highest physical bit
+	for i := uint(0); i < nBankField; i++ {
+		m.rowMSBs = append(m.rowMSBs, top-nBankField+i)
+	}
+	return m
+}
+
+// Decode implements Mapper.
+func (m *XORMap) Decode(pa uint64) dram.Addr {
+	return dram.Addr{
+		Channel:   m.ch.decode(pa),
+		Rank:      m.rank.decode(pa),
+		BankGroup: m.bg.decode(pa),
+		Bank:      m.bank.decode(pa),
+		Row:       m.row.decode(pa),
+		Col:       m.col.decode(pa),
+	}
+}
+
+// Geometry implements Mapper.
+func (m *XORMap) Geometry() dram.Geometry { return m.geom }
+
+// ColorBits implements Mapper.
+func (m *XORMap) ColorBits() []uint { return m.colorBits }
+
+// AddressBits returns the number of physical address bits the mapping
+// consumes (log2 of capacity).
+func (m *XORMap) AddressBits() uint {
+	return uint(len(m.row.bits)+len(m.col.bits)+len(m.ch.bits)+
+		len(m.rank.bits)+len(m.bg.bits)+len(m.bank.bits)) + 6
+}
+
+// PartitionedMap implements the paper's proposed mapping (Fig 4b). The OS
+// reserves the top ReservedBanks banks of every rank for the shared
+// (host+NDA) region and the top slice of the physical address space to
+// back them. Host-only addresses never carry the reserved patterns in
+// their MSBs; when the base hash maps such an address onto a reserved
+// bank, the bank field and the row MSBs are swapped, relocating the access
+// into a host-only bank without aliasing.
+type PartitionedMap struct {
+	Base          *XORMap
+	ReservedBanks int // banks per rank dedicated to the shared region
+}
+
+// NewPartitioned wraps base with reservedBanks top banks set aside per
+// rank. reservedBanks must be in [1, banksPerRank-1].
+func NewPartitioned(base *XORMap, reservedBanks int) *PartitionedMap {
+	n := base.geom.BanksPerRank()
+	if reservedBanks < 1 || reservedBanks >= n {
+		panic(fmt.Sprintf("addrmap: reservedBanks %d out of range [1,%d)", reservedBanks, n-1))
+	}
+	return &PartitionedMap{Base: base, ReservedBanks: reservedBanks}
+}
+
+// HostCapacity returns the bytes of physical space usable for host-only
+// allocations (the bottom of the address space).
+func (p *PartitionedMap) HostCapacity() uint64 {
+	g := p.Base.geom
+	frac := uint64(g.BanksPerRank() - p.ReservedBanks)
+	return g.Capacity() / uint64(g.BanksPerRank()) * frac
+}
+
+// SharedBase returns the first physical address of the shared region.
+func (p *PartitionedMap) SharedBase() uint64 { return p.HostCapacity() }
+
+// bankFieldWidth returns the combined bank-group+bank bit width.
+func (p *PartitionedMap) bankFieldWidth() uint {
+	return uint(len(p.Base.bg.bits) + len(p.Base.bank.bits))
+}
+
+// Decode implements Mapper with the reserved-bank swap. The swap fires
+// when either the hash places the access in a reserved bank (relocating
+// host data out of the shared banks) or the address MSBs carry a reserved
+// pattern (pinning shared-region data into the reserved banks) — the two
+// sides of the Fig 4b multiplexer. The four (bank reserved?, MSB
+// reserved?) cases land in disjoint quadrants, so the mapping stays
+// alias-free.
+func (p *PartitionedMap) Decode(pa uint64) dram.Addr {
+	a := p.Base.Decode(pa)
+	g := p.Base.geom
+	nb := g.BanksPerRank()
+	thresh := nb - p.ReservedBanks
+	flat := a.GlobalBank(g)
+	msb := 0
+	for i, bit := range p.Base.rowMSBs {
+		msb |= int(pa>>bit&1) << i
+	}
+	if flat < thresh && msb < thresh {
+		return a
+	}
+	// Swap the bank field with the row MSBs: new bank = MSBs, new row
+	// MSBs = initial hashed bank.
+	w := p.bankFieldWidth()
+	rowMask := (1 << w) - 1
+	rowShift := uint(len(p.Base.row.bits)) - w
+	a.Row = a.Row&^(rowMask<<rowShift) | flat<<rowShift
+	a.BankGroup = msb / g.BanksPerGroup
+	a.Bank = msb % g.BanksPerGroup
+	return a
+}
+
+// Geometry implements Mapper.
+func (p *PartitionedMap) Geometry() dram.Geometry { return p.Base.geom }
+
+// ColorBits implements Mapper.
+func (p *PartitionedMap) ColorBits() []uint { return p.Base.ColorBits() }
+
+// IsSharedBank reports whether the rank-local flat bank index belongs to
+// the reserved (shared host+NDA) partition.
+func (p *PartitionedMap) IsSharedBank(flatBank int) bool {
+	return flatBank >= p.Base.geom.BanksPerRank()-p.ReservedBanks
+}

@@ -1,0 +1,151 @@
+// Package cache implements the host cache hierarchy: set-associative
+// write-back caches with LRU replacement and MSHR-limited non-blocking
+// misses, composed into per-core L1/L2 levels under a shared LLC with a
+// stride prefetcher (Table II configuration).
+//
+// The hierarchy is a latency/filter model: lookups resolve immediately
+// with a hit latency, LLC misses are forwarded to a memory backend and
+// complete through callbacks. Cache levels operate in CPU cycles; the
+// backend operates in DRAM cycles and reports completion through the
+// clock-converting callback installed by the hierarchy.
+package cache
+
+import "fmt"
+
+// Config sizes one cache level.
+type Config struct {
+	SizeBytes  int
+	Ways       int
+	BlockBytes int
+	LatencyCPU int64 // hit latency in CPU cycles
+	MSHRs      int
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * c.BlockBytes) }
+
+// Validate reports an error for impossible configurations.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.BlockBytes <= 0 {
+		return fmt.Errorf("cache: non-positive size field in %+v", c)
+	}
+	if c.SizeBytes%(c.Ways*c.BlockBytes) != 0 {
+		return fmt.Errorf("cache: size %d not divisible into %d ways of %dB blocks",
+			c.SizeBytes, c.Ways, c.BlockBytes)
+	}
+	s := c.Sets()
+	if s&(s-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", s)
+	}
+	return nil
+}
+
+// line is one cache line's tag state.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-touch counter
+}
+
+// Cache is a single set-associative level.
+type Cache struct {
+	cfg   Config
+	sets  [][]line
+	clock uint64
+
+	Hits, Misses int64
+}
+
+// New builds a cache level. It panics on invalid configuration.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	c := &Cache{cfg: cfg, sets: make([][]line, cfg.Sets())}
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) index(block uint64) (set int, tag uint64) {
+	s := uint64(len(c.sets))
+	return int(block % s), block / s
+}
+
+// Lookup probes for the block (address divided by block size), updating
+// LRU and hit/miss counters. If write, a hit marks the line dirty.
+func (c *Cache) Lookup(block uint64, write bool) bool {
+	set, tag := c.index(block)
+	c.clock++
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			l.lru = c.clock
+			if write {
+				l.dirty = true
+			}
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Contains probes without side effects.
+func (c *Cache) Contains(block uint64) bool {
+	set, tag := c.index(block)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert fills the block, returning any evicted dirty victim.
+func (c *Cache) Insert(block uint64, dirty bool) (victim uint64, victimDirty bool) {
+	set, tag := c.index(block)
+	c.clock++
+	ways := c.sets[set]
+	// Reuse an existing or invalid way first.
+	vi := 0
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].dirty = ways[i].dirty || dirty
+			ways[i].lru = c.clock
+			return 0, false
+		}
+		if !ways[i].valid {
+			vi = i
+		} else if ways[vi].valid && ways[i].lru < ways[vi].lru {
+			vi = i
+		}
+	}
+	v := ways[vi]
+	ways[vi] = line{tag: tag, valid: true, dirty: dirty, lru: c.clock}
+	if v.valid && v.dirty {
+		return v.tag*uint64(len(c.sets)) + uint64(set), true
+	}
+	return 0, false
+}
+
+// Invalidate drops the block if present, reporting whether it was dirty.
+func (c *Cache) Invalidate(block uint64) (wasDirty bool) {
+	set, tag := c.index(block)
+	for i := range c.sets[set] {
+		l := &c.sets[set][i]
+		if l.valid && l.tag == tag {
+			d := l.dirty
+			*l = line{}
+			return d
+		}
+	}
+	return false
+}

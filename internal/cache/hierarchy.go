@@ -1,0 +1,298 @@
+package cache
+
+import "chopim/internal/dram"
+
+// Result classifies one access attempt against the hierarchy.
+type Result int
+
+const (
+	// Hit: the access completes at the latency returned by Access.
+	Hit Result = iota
+	// Queued: the access missed to memory; the done callback fires later.
+	Queued
+	// Stall: no MSHR or controller queue space; the caller must retry.
+	Stall
+)
+
+// Backend is the memory system below the LLC. It operates in DRAM cycles.
+type Backend interface {
+	// EnqueueRead submits a block read; done is called with the DRAM
+	// cycle at which data is available. Returns false if full.
+	EnqueueRead(addr uint64, done func(dramDone int64)) bool
+	// EnqueueWrite submits a block writeback. Returns false if full.
+	EnqueueWrite(addr uint64) bool
+}
+
+// Clock converts between the DRAM and CPU clock domains.
+type Clock interface {
+	CPUOfDRAM(dram int64) int64
+}
+
+// HierarchyConfig configures the full cache hierarchy.
+type HierarchyConfig struct {
+	L1, L2, LLC    Config
+	Cores          int
+	PrefetchDegree int // LLC stride prefetcher lookahead (0 disables)
+}
+
+// DefaultHierarchyConfig returns the paper's Table II cache setup.
+func DefaultHierarchyConfig(cores int) HierarchyConfig {
+	return HierarchyConfig{
+		Cores:          cores,
+		L1:             Config{SizeBytes: 32 << 10, Ways: 8, BlockBytes: dram.BlockBytes, LatencyCPU: 4, MSHRs: 12},
+		L2:             Config{SizeBytes: 256 << 10, Ways: 4, BlockBytes: dram.BlockBytes, LatencyCPU: 12, MSHRs: 12},
+		LLC:            Config{SizeBytes: 8 << 20, Ways: 16, BlockBytes: dram.BlockBytes, LatencyCPU: 38, MSHRs: 48},
+		PrefetchDegree: 2,
+	}
+}
+
+// mshr tracks one outstanding LLC miss and its waiting cores.
+type mshr struct {
+	waiters []waiter
+	core    int
+	dirty   bool // a store merged into the in-flight miss
+}
+
+type waiter struct {
+	core int
+	done func(cpuDone int64)
+}
+
+// strideState is one core's prefetch stream detector.
+type strideState struct {
+	lastBlock  uint64
+	stride     int64
+	confidence int
+}
+
+// Hierarchy composes per-core L1/L2 caches and the shared LLC.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	l1  []*Cache
+	l2  []*Cache
+	llc *Cache
+
+	backend Backend
+	clock   Clock
+
+	pending    map[uint64]*mshr // LLC MSHRs keyed by block
+	l1Pending  []int            // outstanding misses per core (L1 MSHR limit)
+	prefetch   []strideState
+	Prefetches int64
+	Demand     int64
+}
+
+// NewHierarchy builds the hierarchy over the given backend.
+func NewHierarchy(cfg HierarchyConfig, backend Backend, clock Clock) *Hierarchy {
+	h := &Hierarchy{
+		cfg:       cfg,
+		llc:       New(cfg.LLC),
+		backend:   backend,
+		clock:     clock,
+		pending:   make(map[uint64]*mshr),
+		l1Pending: make([]int, cfg.Cores),
+		prefetch:  make([]strideState, cfg.Cores),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1 = append(h.l1, New(cfg.L1))
+		h.l2 = append(h.l2, New(cfg.L2))
+	}
+	return h
+}
+
+// LLC returns the shared last-level cache (for tests and statistics).
+func (h *Hierarchy) LLC() *Cache { return h.llc }
+
+// block converts a byte address to a block index.
+func (h *Hierarchy) block(addr uint64) uint64 { return addr / uint64(h.cfg.L1.BlockBytes) }
+
+// Access issues one load or store from core. For Hit, the returned
+// latency is the CPU cycles until completion. For Queued, done is invoked
+// with the completing CPU cycle. Stores that miss allocate (fetch) the
+// line but report Hit: the store buffer hides their latency from the
+// core, while the fetch still generates memory traffic.
+func (h *Hierarchy) Access(core int, addr uint64, write bool, done func(cpuDone int64)) (Result, int64) {
+	b := h.block(addr)
+	l1, l2 := h.l1[core], h.l2[core]
+
+	if l1.Lookup(b, write) {
+		return Hit, h.cfg.L1.LatencyCPU
+	}
+	if l2.Lookup(b, write) {
+		h.fill(core, b, write, l1, nil)
+		return Hit, h.cfg.L2.LatencyCPU
+	}
+	if h.llc.Lookup(b, write) {
+		h.fill(core, b, write, l1, l2)
+		return Hit, h.cfg.LLC.LatencyCPU
+	}
+
+	// LLC miss. Merge into an existing MSHR if one covers the block.
+	if m, ok := h.pending[b]; ok {
+		if write {
+			// The eventual fill will be marked dirty by this store.
+			m.dirty = true
+			return Hit, h.cfg.LLC.LatencyCPU
+		}
+		if h.l1Pending[core] >= h.cfg.L1.MSHRs {
+			return Stall, 0
+		}
+		h.l1Pending[core]++
+		m.waiters = append(m.waiters, waiter{core: core, done: h.wrapDone(core, done)})
+		return Queued, 0
+	}
+
+	if len(h.pending) >= h.cfg.LLC.MSHRs {
+		return Stall, 0
+	}
+	if !write && h.l1Pending[core] >= h.cfg.L1.MSHRs {
+		return Stall, 0
+	}
+
+	m := &mshr{core: core, dirty: write}
+	if !write {
+		h.l1Pending[core]++
+		m.waiters = append(m.waiters, waiter{core: core, done: h.wrapDone(core, done)})
+	}
+	ok := h.backend.EnqueueRead(addr, func(dramDone int64) {
+		h.onFill(b, m, dramDone)
+	})
+	if !ok {
+		if !write {
+			h.l1Pending[core]--
+		}
+		return Stall, 0
+	}
+	h.pending[b] = m
+	h.Demand++
+	h.maybePrefetch(core, addr)
+	if write {
+		return Hit, h.cfg.L1.LatencyCPU
+	}
+	return Queued, 0
+}
+
+// wrapDone adds L1 MSHR release to a core's completion callback.
+func (h *Hierarchy) wrapDone(core int, done func(int64)) func(int64) {
+	return func(cpuDone int64) {
+		h.l1Pending[core]--
+		if done != nil {
+			done(cpuDone)
+		}
+	}
+}
+
+// onFill handles data arriving from memory for block b at DRAM cycle
+// dramDone. Waiters complete at the equivalent CPU cycle plus the
+// LLC-to-core fill latency.
+func (h *Hierarchy) onFill(b uint64, m *mshr, dramDone int64) {
+	delete(h.pending, b)
+	h.insertAll(m.core, b, m.dirty)
+	cpuDone := h.clock.CPUOfDRAM(dramDone) + h.cfg.LLC.LatencyCPU
+	for _, w := range m.waiters {
+		w.done(cpuDone)
+	}
+}
+
+// fill propagates a block into upper levels after a lower-level hit.
+func (h *Hierarchy) fill(core int, b uint64, dirty bool, l1, l2 *Cache) {
+	if l2 != nil {
+		if v, vd := l2.Insert(b, false); vd {
+			if ev, evd := h.llc.Insert(v, true); evd {
+				h.writeback(ev)
+			}
+		}
+	}
+	if v, vd := l1.Insert(b, dirty); vd {
+		if ev, evd := h.l2[core].Insert(v, true); evd {
+			if ev2, evd2 := h.llc.Insert(ev, true); evd2 {
+				h.writeback(ev2)
+			}
+		}
+	}
+}
+
+// insertAll fills a block into LLC, L2, and L1, cascading evictions.
+func (h *Hierarchy) insertAll(core int, b uint64, dirty bool) {
+	if v, vd := h.llc.Insert(b, dirty); vd {
+		h.writeback(v)
+	}
+	if v, vd := h.l2[core].Insert(b, false); vd {
+		if ev, evd := h.llc.Insert(v, true); evd {
+			h.writeback(ev)
+		}
+	}
+	if v, vd := h.l1[core].Insert(b, dirty); vd {
+		if ev, evd := h.l2[core].Insert(v, true); evd {
+			if ev2, evd2 := h.llc.Insert(ev, true); evd2 {
+				h.writeback(ev2)
+			}
+		}
+	}
+}
+
+// writeback sends a dirty LLC victim to memory. Write-queue overflow is
+// absorbed by the backend (modeling an unbounded eviction buffer that the
+// controller drains under its watermark policy).
+func (h *Hierarchy) writeback(block uint64) {
+	h.backend.EnqueueWrite(block * uint64(h.cfg.L1.BlockBytes))
+}
+
+// maybePrefetch trains the per-core stride detector on LLC demand misses
+// and issues prefetches when confident.
+func (h *Hierarchy) maybePrefetch(core int, addr uint64) {
+	if h.cfg.PrefetchDegree == 0 {
+		return
+	}
+	b := h.block(addr)
+	st := &h.prefetch[core]
+	stride := int64(b) - int64(st.lastBlock)
+	if stride == st.stride && stride != 0 {
+		if st.confidence < 4 {
+			st.confidence++
+		}
+	} else {
+		st.confidence = 0
+		st.stride = stride
+	}
+	st.lastBlock = b
+	if st.confidence < 2 {
+		return
+	}
+	for d := 1; d <= h.cfg.PrefetchDegree; d++ {
+		pb := int64(b) + st.stride*int64(d)
+		if pb < 0 {
+			continue
+		}
+		pblock := uint64(pb)
+		if h.llc.Contains(pblock) {
+			continue
+		}
+		if _, busy := h.pending[pblock]; busy {
+			continue
+		}
+		if len(h.pending) >= h.cfg.LLC.MSHRs {
+			return
+		}
+		m := &mshr{core: core}
+		paddr := pblock * uint64(h.cfg.L1.BlockBytes)
+		if !h.backend.EnqueueRead(paddr, func(dramDone int64) { h.onPrefetchFill(pblock, m, dramDone) }) {
+			return
+		}
+		h.pending[pblock] = m
+		h.Prefetches++
+	}
+}
+
+// onPrefetchFill installs a prefetched block in the LLC only. Demand
+// misses that merged into the prefetch MSHR complete like normal fills.
+func (h *Hierarchy) onPrefetchFill(b uint64, m *mshr, dramDone int64) {
+	delete(h.pending, b)
+	if v, vd := h.llc.Insert(b, m.dirty); vd {
+		h.writeback(v)
+	}
+	cpuDone := h.clock.CPUOfDRAM(dramDone) + h.cfg.LLC.LatencyCPU
+	for _, w := range m.waiters {
+		w.done(cpuDone)
+	}
+}

@@ -1,0 +1,166 @@
+// Package cpu models the host processor: simplified out-of-order cores
+// with a reorder buffer, load/store queue, and configurable issue/retire
+// width (Table II: 4 GHz, fetch/issue width 8, LSQ 64, ROB 224).
+//
+// Cores are trace-driven. The model captures what the paper's experiments
+// depend on: memory-level parallelism bounded by ROB/LSQ/MSHR capacity,
+// IPC sensitivity to memory latency and bandwidth, and bursty rank-level
+// access patterns. It does not model x86 semantics.
+package cpu
+
+import "chopim/internal/cache"
+
+// Instr is one trace instruction. Non-memory instructions execute in one
+// cycle; memory instructions access the cache hierarchy. Serialize marks
+// the head of a dependency chain: it cannot issue in the same cycle as
+// earlier instructions, bounding compute ILP like real dependence chains
+// do.
+type Instr struct {
+	Mem       bool
+	Write     bool
+	Serialize bool
+	Addr      uint64
+}
+
+// TraceSource supplies an (endless) instruction stream.
+type TraceSource interface {
+	Next() Instr
+}
+
+// Config sizes one core.
+type Config struct {
+	Width   int // issue and retire width
+	ROBSize int
+	LSQSize int
+}
+
+// DefaultConfig returns the paper's core parameters.
+func DefaultConfig() Config { return Config{Width: 8, ROBSize: 224, LSQSize: 64} }
+
+// robEntry tracks one in-flight instruction.
+type robEntry struct {
+	doneAt  int64 // CPU cycle at which the instruction may retire
+	pending bool  // completion arrives via callback
+	isLoad  bool
+	isStore bool
+}
+
+// Core is one out-of-order core.
+type Core struct {
+	ID    int
+	cfg   Config
+	trace TraceSource
+	hier  *cache.Hierarchy
+
+	rob      []robEntry
+	head, n  int
+	stores   int // stores in flight (LSQ occupancy, with loads)
+	loads    int
+	stalled  Instr
+	hasStall bool
+
+	Retired int64
+	Cycles  int64
+}
+
+// NewCore builds a core over the shared hierarchy.
+func NewCore(id int, cfg Config, trace TraceSource, hier *cache.Hierarchy) *Core {
+	return &Core{ID: id, cfg: cfg, trace: trace, hier: hier, rob: make([]robEntry, cfg.ROBSize)}
+}
+
+// IPC returns retired instructions per CPU cycle so far.
+func (c *Core) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Retired) / float64(c.Cycles)
+}
+
+// ResetStats clears retirement counters (end of warm-up).
+func (c *Core) ResetStats() { c.Retired, c.Cycles = 0, 0 }
+
+// Tick advances the core by one CPU cycle.
+func (c *Core) Tick(now int64) {
+	c.Cycles++
+	c.retire(now)
+	c.issue(now)
+}
+
+func (c *Core) retire(now int64) {
+	for retired := 0; retired < c.cfg.Width && c.n > 0; retired++ {
+		e := &c.rob[c.head]
+		if e.pending || e.doneAt > now {
+			return
+		}
+		if e.isLoad {
+			c.loads--
+		}
+		if e.isStore {
+			c.stores--
+		}
+		c.head = (c.head + 1) % len(c.rob)
+		c.n--
+		c.Retired++
+	}
+}
+
+func (c *Core) issue(now int64) {
+	for issued := 0; issued < c.cfg.Width && c.n < len(c.rob); issued++ {
+		var in Instr
+		if c.hasStall {
+			in = c.stalled
+		} else {
+			in = c.trace.Next()
+		}
+		if in.Serialize && issued > 0 {
+			// Dependency chain head: wait for the next cycle.
+			c.stalled = in
+			c.hasStall = true
+			return
+		}
+		if !c.tryIssue(in, now) {
+			c.stalled = in
+			c.hasStall = true
+			return
+		}
+		c.hasStall = false
+	}
+}
+
+// tryIssue places one instruction into the ROB, accessing memory if
+// needed. It returns false if a structural hazard requires a retry.
+func (c *Core) tryIssue(in Instr, now int64) bool {
+	slot := (c.head + c.n) % len(c.rob)
+	e := &c.rob[slot]
+	*e = robEntry{}
+
+	if !in.Mem {
+		e.doneAt = now + 1
+		c.n++
+		return true
+	}
+	if c.loads+c.stores >= c.cfg.LSQSize {
+		return false
+	}
+	res, lat := c.hier.Access(c.ID, in.Addr, in.Write, func(cpuDone int64) {
+		e.pending = false
+		e.doneAt = cpuDone
+	})
+	switch res {
+	case cache.Stall:
+		return false
+	case cache.Hit:
+		e.doneAt = now + lat
+	case cache.Queued:
+		e.pending = true
+	}
+	if in.Write {
+		e.isStore = true
+		c.stores++
+	} else {
+		e.isLoad = true
+		c.loads++
+	}
+	c.n++
+	return true
+}

@@ -1,0 +1,138 @@
+package cpu
+
+import (
+	"testing"
+
+	"chopim/internal/cache"
+)
+
+// scriptTrace yields a fixed instruction sequence then repeats the last.
+type scriptTrace struct {
+	instrs []Instr
+	i      int
+}
+
+func (s *scriptTrace) Next() Instr {
+	if s.i < len(s.instrs) {
+		in := s.instrs[s.i]
+		s.i++
+		return in
+	}
+	return Instr{}
+}
+
+type fakeBackend struct {
+	dones []func(int64)
+	full  bool
+}
+
+func (f *fakeBackend) EnqueueRead(addr uint64, done func(int64)) bool {
+	if f.full {
+		return false
+	}
+	f.dones = append(f.dones, done)
+	return true
+}
+func (f *fakeBackend) EnqueueWrite(addr uint64) bool { return true }
+
+type fixedClock struct{}
+
+func (fixedClock) CPUOfDRAM(d int64) int64 { return d }
+
+func newCoreWith(trace TraceSource) (*Core, *fakeBackend) {
+	b := &fakeBackend{}
+	h := cache.NewHierarchy(cache.DefaultHierarchyConfig(1), b, fixedClock{})
+	return NewCore(0, DefaultConfig(), trace, h), b
+}
+
+func TestComputeIPCBounded(t *testing.T) {
+	c, _ := newCoreWith(&scriptTrace{})
+	for cyc := int64(0); cyc < 1000; cyc++ {
+		c.Tick(cyc)
+	}
+	ipc := c.IPC()
+	if ipc < 1 || ipc > float64(DefaultConfig().Width) {
+		t.Errorf("compute-only IPC = %.2f, want within [1, %d]", ipc, DefaultConfig().Width)
+	}
+}
+
+func TestSerializeLimitsILP(t *testing.T) {
+	all := &scriptTrace{}
+	c1, _ := newCoreWith(all)
+	for cyc := int64(0); cyc < 2000; cyc++ {
+		c1.Tick(cyc)
+	}
+	serial := &serTrace{}
+	c2, _ := newCoreWith(serial)
+	for cyc := int64(0); cyc < 2000; cyc++ {
+		c2.Tick(cyc)
+	}
+	if c2.IPC() >= c1.IPC() {
+		t.Errorf("fully-serialized IPC %.2f not below unconstrained %.2f", c2.IPC(), c1.IPC())
+	}
+	if c2.IPC() > 1.1 {
+		t.Errorf("fully-serialized IPC %.2f, want ~1", c2.IPC())
+	}
+}
+
+type serTrace struct{}
+
+func (serTrace) Next() Instr { return Instr{Serialize: true} }
+
+func TestLoadMissBlocksRetirement(t *testing.T) {
+	tr := &scriptTrace{instrs: []Instr{{Mem: true, Addr: 0x5000}}}
+	c, b := newCoreWith(tr)
+	for cyc := int64(0); cyc < 50; cyc++ {
+		c.Tick(cyc)
+	}
+	// The load is outstanding; ROB head blocked, but younger compute
+	// instructions continue to fill the ROB.
+	if len(b.dones) != 1 {
+		t.Fatalf("expected 1 outstanding miss, got %d", len(b.dones))
+	}
+	retiredBefore := c.Retired
+	if retiredBefore != 0 {
+		t.Errorf("retired %d instructions past an incomplete load at ROB head", retiredBefore)
+	}
+	b.dones[0](60)
+	for cyc := int64(50); cyc < 300; cyc++ {
+		c.Tick(cyc)
+	}
+	if c.Retired == 0 {
+		t.Error("no retirement after load completion")
+	}
+}
+
+func TestMLPMultipleOutstandingLoads(t *testing.T) {
+	var instrs []Instr
+	for i := 0; i < 8; i++ {
+		instrs = append(instrs, Instr{Mem: true, Addr: uint64(0x10000 + i*4096)})
+	}
+	tr := &scriptTrace{instrs: instrs}
+	c, b := newCoreWith(tr)
+	for cyc := int64(0); cyc < 10; cyc++ {
+		c.Tick(cyc)
+	}
+	if len(b.dones) < 4 {
+		t.Errorf("only %d overlapping misses; OoO core should expose MLP", len(b.dones))
+	}
+	_ = c
+}
+
+func TestResetStats(t *testing.T) {
+	c, _ := newCoreWith(&scriptTrace{})
+	for cyc := int64(0); cyc < 100; cyc++ {
+		c.Tick(cyc)
+	}
+	c.ResetStats()
+	if c.Retired != 0 || c.Cycles != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+}
+
+func TestIPCZeroBeforeRun(t *testing.T) {
+	c, _ := newCoreWith(&scriptTrace{})
+	if c.IPC() != 0 {
+		t.Error("IPC nonzero before any cycle")
+	}
+}

@@ -1,0 +1,131 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRandomLegalSequencesKeepInvariants drives the device model with
+// random command streams, issuing whatever CanIssue admits, and checks
+// protocol invariants the scheduler relies on:
+//
+//   - data bursts on one rank's data path never overlap;
+//   - a bank is never activated while open or accessed while closed;
+//   - at most four ACTs land in any tFAW window per rank;
+//   - command counters reconcile with issued commands.
+func TestRandomLegalSequencesKeepInvariants(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		runRandomSequence(t, seed, 4000)
+	}
+}
+
+func runRandomSequence(t *testing.T, seed int64, steps int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := Geometry{Channels: 1, Ranks: 2, BankGroups: 2, BanksPerGroup: 2, Rows: 64, Cols: 16}
+	m := New(g, DDR42400())
+
+	type burst struct{ start, end int64 }
+	lastBurst := make(map[int]burst) // per rank
+	var actTimes [][]int64           // per rank, issue cycles
+	actTimes = make([][]int64, g.Ranks)
+	var issued int64
+
+	now := int64(0)
+	for s := 0; s < steps; s++ {
+		cmd := Command(rng.Intn(4))
+		a := Addr{
+			Rank:      rng.Intn(g.Ranks),
+			BankGroup: rng.Intn(g.BankGroups),
+			Bank:      rng.Intn(g.BanksPerGroup),
+			Row:       rng.Intn(g.Rows),
+			Col:       rng.Intn(g.Cols),
+		}
+		internal := rng.Intn(2) == 0
+		// Column commands must target the open row to be legal; steer
+		// half of them there to get decent coverage.
+		if (cmd == CmdRD || cmd == CmdWR) && rng.Intn(2) == 0 {
+			if row, open := m.OpenRow(a); open {
+				a.Row = row
+			}
+		}
+		if m.CanIssue(cmd, a, now, internal) {
+			// Invariant: ACT only on closed banks; RD/WR only on the
+			// open row (CanIssue admitted it, cross-check state).
+			row, open := m.OpenRow(a)
+			switch cmd {
+			case CmdACT:
+				if open {
+					t.Fatalf("seed %d: ACT admitted on open bank at %d", seed, now)
+				}
+				actTimes[a.Rank] = append(actTimes[a.Rank], now)
+			case CmdRD, CmdWR:
+				if !open || row != a.Row {
+					t.Fatalf("seed %d: column admitted on closed/mismatched row at %d", seed, now)
+				}
+			}
+			m.Issue(cmd, a, now, internal)
+			issued++
+			if cmd == CmdRD || cmd == CmdWR {
+				var start int64
+				if cmd == CmdRD {
+					start = now + int64(m.T.CL)
+				} else {
+					start = now + int64(m.T.CWL)
+				}
+				end := start + int64(m.T.BL)
+				if lb, ok := lastBurst[a.Rank]; ok && start < lb.end && lb.start < end {
+					t.Fatalf("seed %d: overlapping data bursts on rank %d: [%d,%d) vs [%d,%d)",
+						seed, a.Rank, lb.start, lb.end, start, end)
+				}
+				if b, ok := lastBurst[a.Rank]; !ok || b.end < end {
+					lastBurst[a.Rank] = burst{start, end}
+				}
+			}
+		}
+		now += int64(rng.Intn(3))
+	}
+
+	for r, times := range actTimes {
+		for i := 4; i < len(times); i++ {
+			if times[i]-times[i-4] < int64(m.T.FAW) {
+				t.Fatalf("seed %d: rank %d saw 5 ACTs within tFAW (%d..%d)",
+					seed, r, times[i-4], times[i])
+			}
+		}
+	}
+	if got := m.NumACT + m.NumPRE + m.NumRD + m.NumWR + m.NumNDARD + m.NumNDAWR; got != issued {
+		t.Fatalf("seed %d: counter total %d != issued %d", seed, got, issued)
+	}
+}
+
+// TestNDAAndHostInterleavingFairness issues host and NDA columns to the
+// same open row alternately: both must make progress and the rank-level
+// spacing must hold between mixed-source commands.
+func TestNDAAndHostInterleavingFairness(t *testing.T) {
+	m := New(DefaultGeometry(), DDR42400())
+	a := Addr{Row: 5}
+	m.Issue(CmdACT, a, 0, false)
+	now := int64(m.T.RCD)
+	var host, ndas int
+	var last int64 = -1 << 40
+	for now < 3000 {
+		internal := (host+ndas)%2 == 1
+		if m.CanIssue(CmdRD, a, now, internal) {
+			m.Issue(CmdRD, a, now, internal)
+			if last > -1<<39 && now-last < int64(m.T.CCDL) {
+				t.Fatalf("mixed-source columns %d cycles apart, tCCD_L=%d", now-last, m.T.CCDL)
+			}
+			last = now
+			if internal {
+				ndas++
+			} else {
+				host++
+			}
+		}
+		now++
+	}
+	if host == 0 || ndas == 0 {
+		t.Fatalf("progress: host=%d nda=%d", host, ndas)
+	}
+}

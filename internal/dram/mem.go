@@ -1,0 +1,336 @@
+package dram
+
+import "fmt"
+
+// bankState tracks one bank's row state and per-bank timing horizons.
+// A horizon is the earliest cycle at which the named command may issue.
+type bankState struct {
+	open bool
+	row  int
+
+	nextACT int64
+	nextPRE int64
+	nextRD  int64
+	nextWR  int64
+}
+
+// bgState tracks bank-group level horizons (tCCD_L, tRRD_L, tWTR_L).
+type bgState struct {
+	nextACT int64
+	nextRD  int64
+	nextWR  int64
+}
+
+// rankState tracks rank-level horizons shared by host and NDA accesses:
+// cross-bank-group column spacing (tCCD_S), activation spacing (tRRD_S),
+// the tFAW window, and internal data-path read/write turnaround.
+type rankState struct {
+	banks []bankState // flat: bg*BanksPerGroup + bank
+	bgs   []bgState
+
+	nextACT int64
+	nextRD  int64
+	nextWR  int64
+
+	faw    []int64 // issue cycles of the last 4 ACTs (ring buffer)
+	fawIdx int
+
+	// dataBusyUntil is when the rank's data pins/internal IO finish the
+	// current burst. Used for statistics and NDA idle detection.
+	dataBusyUntil int64
+	refreshUntil  int64
+}
+
+// chanState tracks channel-level constraints that apply only to external
+// (host) accesses: the shared data bus and rank-switch penalties.
+type chanState struct {
+	ranks []rankState
+
+	// Last external column command, for bus turnaround and tRTRS.
+	lastColValid bool
+	lastColRead  bool
+	lastColRank  int
+	lastColCycle int64
+
+	dataBusyUntil int64
+	nextRefresh   int64
+}
+
+// Mem is the DDR4 memory system state machine. It validates and applies
+// command timing; it does not schedule. Controllers (host and NDA side)
+// call CanIssue/Issue.
+type Mem struct {
+	Geom Geometry
+	T    Timing
+
+	channels []chanState
+
+	// Counters for energy and statistics.
+	NumACT, NumPRE int64
+	NumRD, NumWR   int64 // external (host) column commands
+	NumNDARD       int64 // internal (NDA) column commands
+	NumNDAWR       int64
+}
+
+// New builds a Mem with the given geometry and timing. It panics on
+// invalid configuration; configurations are programmer-supplied constants.
+func New(g Geometry, t Timing) *Mem {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Mem{Geom: g, T: t, channels: make([]chanState, g.Channels)}
+	for c := range m.channels {
+		ch := &m.channels[c]
+		ch.ranks = make([]rankState, g.Ranks)
+		for r := range ch.ranks {
+			rk := &ch.ranks[r]
+			rk.banks = make([]bankState, g.BanksPerRank())
+			rk.bgs = make([]bgState, g.BankGroups)
+			rk.faw = make([]int64, 4)
+			for i := range rk.faw {
+				rk.faw[i] = -(1 << 40) // far past: window initially empty
+			}
+		}
+	}
+	return m
+}
+
+func (m *Mem) rank(a Addr) *rankState { return &m.channels[a.Channel].ranks[a.Rank] }
+func (m *Mem) bank(a Addr) *bankState { return &m.rank(a).banks[a.GlobalBank(m.Geom)] }
+func (m *Mem) checkAddr(a Addr) {
+	g := m.Geom
+	if a.Channel < 0 || a.Channel >= g.Channels || a.Rank < 0 || a.Rank >= g.Ranks ||
+		a.BankGroup < 0 || a.BankGroup >= g.BankGroups || a.Bank < 0 || a.Bank >= g.BanksPerGroup ||
+		a.Row < 0 || a.Row >= g.Rows || a.Col < 0 || a.Col >= g.Cols {
+		panic(fmt.Sprintf("dram: address out of range: %+v for geometry %+v", a, g))
+	}
+}
+
+// OpenRow reports whether the addressed bank is open and, if so, which row.
+func (m *Mem) OpenRow(a Addr) (row int, open bool) {
+	b := m.bank(a)
+	return b.row, b.open
+}
+
+// RankDataBusyUntil returns the cycle at which the rank's data path is free.
+func (m *Mem) RankDataBusyUntil(channel, rank int) int64 {
+	return m.channels[channel].ranks[rank].dataBusyUntil
+}
+
+// ChannelDataBusyUntil returns the cycle at which the channel bus is free.
+func (m *Mem) ChannelDataBusyUntil(channel int) int64 {
+	return m.channels[channel].dataBusyUntil
+}
+
+// fawReady returns the earliest cycle an ACT may issue under tFAW.
+func (r *rankState) fawReady(t Timing) int64 {
+	// The ring holds the last 4 ACT times; the next slot is the oldest.
+	return r.faw[r.fawIdx] + int64(t.FAW)
+}
+
+// CanIssue reports whether cmd to address a may legally issue at cycle now.
+// internal marks NDA-side column accesses, which skip channel-bus checks.
+func (m *Mem) CanIssue(cmd Command, a Addr, now int64, internal bool) bool {
+	m.checkAddr(a)
+	ch := &m.channels[a.Channel]
+	rk := &ch.ranks[a.Rank]
+	bg := &rk.bgs[a.BankGroup]
+	b := &rk.banks[a.GlobalBank(m.Geom)]
+	if now < rk.refreshUntil {
+		return false
+	}
+
+	switch cmd {
+	case CmdACT:
+		if b.open {
+			return false
+		}
+		if now < b.nextACT || now < bg.nextACT || now < rk.nextACT {
+			return false
+		}
+		return now >= rk.fawReady(m.T)
+
+	case CmdPRE:
+		if !b.open {
+			return false
+		}
+		return now >= b.nextPRE
+
+	case CmdRD, CmdWR:
+		if !b.open || b.row != a.Row {
+			return false
+		}
+		var bankNext, bgNext, rkNext int64
+		if cmd == CmdRD {
+			bankNext, bgNext, rkNext = b.nextRD, bg.nextRD, rk.nextRD
+		} else {
+			bankNext, bgNext, rkNext = b.nextWR, bg.nextWR, rk.nextWR
+		}
+		if now < bankNext || now < bgNext || now < rkNext {
+			return false
+		}
+		if internal {
+			return true
+		}
+		return m.channelColOK(ch, cmd, a, now)
+
+	case CmdREF:
+		// All banks of the rank must be precharged.
+		for i := range rk.banks {
+			if rk.banks[i].open {
+				return false
+			}
+		}
+		return now >= rk.nextACT
+	}
+	return false
+}
+
+// channelColOK checks external data-bus constraints: burst overlap on the
+// shared bus, tRTRS rank switches, and read/write bus turnaround.
+func (m *Mem) channelColOK(ch *chanState, cmd Command, a Addr, now int64) bool {
+	t := m.T
+	var start int64
+	if cmd == CmdRD {
+		start = now + int64(t.CL)
+	} else {
+		start = now + int64(t.CWL)
+	}
+	busFree := ch.dataBusyUntil
+	if ch.lastColValid && ch.lastColRank != a.Rank {
+		busFree += int64(t.RTRS)
+	}
+	if start < busFree {
+		return false
+	}
+	if !ch.lastColValid {
+		return true
+	}
+	gap := now - ch.lastColCycle
+	switch {
+	case ch.lastColRead && cmd == CmdWR:
+		// Read-to-write bus turnaround, any rank.
+		if gap < int64(t.ReadToWrite()) {
+			return false
+		}
+	case !ch.lastColRead && cmd == CmdRD && ch.lastColRank != a.Rank:
+		// Write-to-read across ranks: bus constraint only (same-rank
+		// WTR is enforced by rank state).
+		if gap < int64(t.CWL+t.BL+t.RTRS-t.CL) {
+			return false
+		}
+	}
+	return true
+}
+
+// Issue applies cmd at cycle now, updating all affected timing horizons.
+// It panics if the command is illegal; callers must CanIssue first.
+func (m *Mem) Issue(cmd Command, a Addr, now int64, internal bool) {
+	if !m.CanIssue(cmd, a, now, internal) {
+		panic(fmt.Sprintf("dram: illegal %v to %+v at cycle %d (internal=%v)", cmd, a, now, internal))
+	}
+	t := m.T
+	ch := &m.channels[a.Channel]
+	rk := &ch.ranks[a.Rank]
+	b := &rk.banks[a.GlobalBank(m.Geom)]
+
+	maxi := func(p *int64, v int64) {
+		if v > *p {
+			*p = v
+		}
+	}
+
+	switch cmd {
+	case CmdACT:
+		m.NumACT++
+		b.open = true
+		b.row = a.Row
+		b.nextRD = now + int64(t.RCD)
+		b.nextWR = now + int64(t.RCD)
+		b.nextPRE = now + int64(t.RAS)
+		b.nextACT = now + int64(t.RC)
+		for g := range rk.bgs {
+			d := int64(t.RRDS)
+			if g == a.BankGroup {
+				d = int64(t.RRDL)
+			}
+			maxi(&rk.bgs[g].nextACT, now+d)
+		}
+		maxi(&rk.nextACT, now+int64(t.RRDS))
+		rk.faw[rk.fawIdx] = now
+		rk.fawIdx = (rk.fawIdx + 1) % 4
+
+	case CmdPRE:
+		m.NumPRE++
+		b.open = false
+		maxi(&b.nextACT, now+int64(t.RP))
+
+	case CmdRD:
+		if internal {
+			m.NumNDARD++
+		} else {
+			m.NumRD++
+		}
+		maxi(&b.nextPRE, now+int64(t.RTP))
+		for g := range rk.bgs {
+			d := int64(t.CCDS)
+			if g == a.BankGroup {
+				d = int64(t.CCDL)
+			}
+			maxi(&rk.bgs[g].nextRD, now+d)
+			maxi(&rk.bgs[g].nextWR, now+d)
+		}
+		// Read-to-write turnaround on the rank's data path applies to
+		// both host and NDA accesses sharing that path.
+		maxi(&rk.nextWR, now+int64(t.ReadToWrite()))
+		end := now + int64(t.CL) + int64(t.BL)
+		maxi(&rk.dataBusyUntil, end)
+		if !internal {
+			ch.dataBusyUntil = end
+			ch.lastColValid = true
+			ch.lastColRead = true
+			ch.lastColRank = a.Rank
+			ch.lastColCycle = now
+		}
+
+	case CmdWR:
+		if internal {
+			m.NumNDAWR++
+		} else {
+			m.NumWR++
+		}
+		maxi(&b.nextPRE, now+int64(t.CWL+t.BL+t.WR))
+		for g := range rk.bgs {
+			ccd := int64(t.CCDS)
+			wtr := int64(t.WriteToReadDiffBG())
+			if g == a.BankGroup {
+				ccd = int64(t.CCDL)
+				wtr = int64(t.WriteToReadSameBG())
+			}
+			maxi(&rk.bgs[g].nextWR, now+ccd)
+			maxi(&rk.bgs[g].nextRD, now+wtr)
+		}
+		end := now + int64(t.CWL) + int64(t.BL)
+		maxi(&rk.dataBusyUntil, end)
+		if !internal {
+			ch.dataBusyUntil = end
+			ch.lastColValid = true
+			ch.lastColRead = false
+			ch.lastColRank = a.Rank
+			ch.lastColCycle = now
+		}
+
+	case CmdREF:
+		rk.refreshUntil = now + int64(t.RFC)
+		maxi(&rk.nextACT, rk.refreshUntil)
+	}
+}
+
+// ReadLatency returns cycles from RD issue to the end of the data burst.
+func (m *Mem) ReadLatency() int64 { return int64(m.T.CL + m.T.BL) }
+
+// WriteLatency returns cycles from WR issue to the end of the data burst.
+func (m *Mem) WriteLatency() int64 { return int64(m.T.CWL + m.T.BL) }

@@ -1,0 +1,128 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VII). Each FigNN function returns printable rows;
+// cmd/chopim renders them and bench_test.go wraps them as benchmarks.
+// EXPERIMENTS.md records paper-versus-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+
+	"chopim/internal/dram"
+	"chopim/internal/ndart"
+	"chopim/internal/sim"
+)
+
+// Options sets the simulation budget. Quick shrinks runs for tests.
+type Options struct {
+	WarmCycles    int64
+	MeasureCycles int64
+	Quick         bool
+}
+
+// DefaultOptions returns the full-fidelity budget. Warm-up must be long
+// enough to fill the 8 MiB LLC so steady-state hit rates and writeback
+// traffic are established before measurement.
+func DefaultOptions() Options {
+	return Options{WarmCycles: 250_000, MeasureCycles: 400_000}
+}
+
+// QuickOptions returns a reduced budget for tests.
+func QuickOptions() Options {
+	return Options{WarmCycles: 5_000, MeasureCycles: 40_000, Quick: true}
+}
+
+// Result is one concurrent-execution measurement.
+type Result struct {
+	HostIPC   float64
+	NDAUtil   float64 // fraction of host-idle rank bandwidth captured
+	NDABWGBs  float64 // absolute NDA bandwidth
+	HostBWGBs float64
+	NDABlocks int64
+	HostBusy  int64
+	Cycles    int64
+}
+
+// launcher produces a fresh completion handle each time the previous one
+// finishes, keeping NDAs busy through the window (the paper relaunches
+// NDA workloads until host simulation ends).
+type launcher func() (*ndart.Handle, error)
+
+// measureConcurrent drives a system with an optional NDA relaunch loop
+// through warm-up and measurement.
+func measureConcurrent(s *sim.System, it launcher, opt Options) (Result, error) {
+	var h *ndart.Handle
+	var err error
+	relaunch := func() error {
+		if it == nil {
+			return nil
+		}
+		if h == nil || h.Done() {
+			if h, err = it(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := relaunch(); err != nil {
+		return Result{}, err
+	}
+	for i := int64(0); i < opt.WarmCycles; i++ {
+		s.Tick()
+		if err := relaunch(); err != nil {
+			return Result{}, err
+		}
+	}
+	s.BeginMeasurement()
+	busy0, blocks0 := s.HostBusyCycles(), s.NDABlocks()
+	for i := int64(0); i < opt.MeasureCycles; i++ {
+		s.Tick()
+		if err := relaunch(); err != nil {
+			return Result{}, err
+		}
+	}
+	for _, c := range s.MCs {
+		c.FinalizeStats(s.Now())
+	}
+	blocks := s.NDABlocks() - blocks0
+	busy := s.HostBusyCycles() - busy0
+	res := Result{
+		HostIPC:   s.HostIPC(),
+		NDAUtil:   s.NDAUtilization(busy, blocks),
+		NDABWGBs:  s.NDABandwidthGBs(blocks * dram.BlockBytes),
+		NDABlocks: blocks,
+		HostBusy:  busy,
+		Cycles:    s.MeasuredCycles(),
+	}
+	hostBlocks := float64(busy) / float64(s.Cfg.Timing.BL) // approx: busy cycles are data bursts
+	res.HostBWGBs = hostBlocks * dram.BlockBytes / sim.Seconds(s.MeasuredCycles()) / 1e9
+	return res, nil
+}
+
+// microVectorElems returns a Private vector length giving each rank
+// roughly bytesPerRank of data.
+func microVectorElems(bytesPerRank int) int { return bytesPerRank / 4 }
+
+// scaleForQuick shrinks a size under Quick options.
+func scaleForQuick(opt Options, n int) int {
+	if opt.Quick && n > 1<<16 {
+		return n / 8
+	}
+	return n
+}
+
+// geomWithRanks returns the baseline geometry with the given ranks per
+// channel.
+func geomWithRanks(ranks int) dram.Geometry {
+	g := dram.DefaultGeometry()
+	g.Ranks = ranks
+	return g
+}
+
+// fmtF renders a float for table output.
+func fmtF(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Placement aliases so figure files read cleanly.
+const (
+	ndartShared  = ndart.Shared
+	ndartPrivate = ndart.Private
+)

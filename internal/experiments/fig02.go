@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"chopim/internal/sim"
+	"chopim/internal/stats"
+	"chopim/internal/workload"
+)
+
+// Fig2Row is one mix's rank idle-time breakdown (fractions of total
+// rank-cycles per bucket).
+type Fig2Row struct {
+	Mix       string
+	Fractions [stats.NumIdleBuckets]float64
+}
+
+// Fig2 reproduces Figure 2: rank idle-time versus idleness granularity
+// for the nine host-only application mixes. It shows that most idle
+// periods are shorter than 250 cycles, motivating fine-grain
+// interleaving.
+func Fig2(opt Options) ([]Fig2Row, error) {
+	var rows []Fig2Row
+	for mix := 0; mix < len(workload.Mixes); mix++ {
+		s, err := sim.New(sim.Default(mix))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := measureConcurrent(s, nil, opt); err != nil {
+			return nil, err
+		}
+		var total [stats.NumIdleBuckets]int64
+		var sum int64
+		for _, c := range s.MCs {
+			for i := range c.IdleHists {
+				cyc := c.IdleHists[i].Cycles()
+				for b, v := range cyc {
+					total[b] += v
+					sum += v
+				}
+			}
+		}
+		row := Fig2Row{Mix: workload.MixName(mix)}
+		if sum > 0 {
+			for b, v := range total {
+				row.Fractions[b] = float64(v) / float64(sum)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"chopim/internal/apps"
+	"chopim/internal/dram"
+	"chopim/internal/ndart"
+	"chopim/internal/sim"
+)
+
+// Fig10Row is one point of the coarse-grain NDA operation sweep.
+type Fig10Row struct {
+	Ranks     int // ranks per channel
+	BlocksPer int // cache blocks per NDA instruction (N)
+	HostIPC   float64
+	NDAUtil   float64
+}
+
+// Fig10 reproduces Figure 10: host IPC and NDA bandwidth utilization as
+// the per-instruction vector width N grows, for 2x2, 2x4, and 2x8
+// systems running the memory-intensive mix1 with bank partitioning and
+// asynchronous NRM2 launches. Small N floods the channel with launch
+// packets; the effect worsens with rank count.
+func Fig10(opt Options) ([]Fig10Row, error) {
+	ns := []int{1, 4, 16, 64, 256, 1024, 4096}
+	rankCounts := []int{2, 4, 8}
+	if opt.Quick {
+		ns = []int{1, 64, 4096}
+		rankCounts = []int{2, 4}
+	}
+	var rows []Fig10Row
+	for _, ranks := range rankCounts {
+		for _, n := range ns {
+			cfg := sim.Default(1)
+			cfg.Geom = geomWithRanks(ranks)
+			cfg.MaxBlocksPerInstr = n
+			s, err := sim.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			// Size the vector so each rank holds 4096 blocks: every N
+			// divides evenly and the largest N is one instruction.
+			perRank := 4096
+			if opt.Quick {
+				perRank = 1024
+			}
+			elems := perRank * dram.BlockBytes / 4
+			app, err := apps.NewMicroPlaced(s.RT, "nrm2", elems, ndart.Private)
+			if err != nil {
+				return nil, err
+			}
+			res, err := measureConcurrent(s, app.Iterate, opt)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig10Row{Ranks: ranks, BlocksPer: n, HostIPC: res.HostIPC, NDAUtil: res.NDAUtil})
+		}
+	}
+	return rows, nil
+}

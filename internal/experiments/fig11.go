@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"chopim/internal/apps"
+	"chopim/internal/sim"
+	"chopim/internal/workload"
+)
+
+// Fig11Row compares shared versus partitioned banks for one mix.
+type Fig11Row struct {
+	Mix string
+	// Host IPC and NDA utilization per configuration.
+	SharedDOT, SharedCOPY Result
+	PartDOT, PartCOPY     Result
+	IdealHostIPC          float64 // host-only, no NDA contention
+}
+
+// Fig11 reproduces Figure 11: concurrent access with and without bank
+// partitioning under read-intensive (DOT) and write-intensive (COPY)
+// NDA operations across all mixes. Partitioning removes host-to-NDA bank
+// conflicts and chiefly helps the read-intensive case; COPY also hurts
+// host IPC through write turnarounds.
+func Fig11(opt Options) ([]Fig11Row, error) {
+	n := len(workload.Mixes)
+	if opt.Quick {
+		n = 2
+	}
+	mixes := make([]int, n)
+	for i := range mixes {
+		mixes[i] = i
+	}
+	return fig11Mixes(opt, mixes)
+}
+
+// fig11Mixes runs the Fig 11 comparison for selected mixes.
+func fig11Mixes(opt Options, mixes []int) ([]Fig11Row, error) {
+	perRankBytes := 2 << 20
+	if opt.Quick {
+		perRankBytes = 256 << 10
+	}
+	var rows []Fig11Row
+	for _, mix := range mixes {
+		row := Fig11Row{Mix: workload.MixName(mix)}
+		for _, part := range []bool{false, true} {
+			for _, op := range []string{"dot", "copy"} {
+				cfg := sim.Default(mix)
+				cfg.Partitioned = part
+				s, err := sim.New(cfg)
+				if err != nil {
+					return nil, err
+				}
+				app, err := apps.NewMicroPlaced(s.RT, op, perRankBytes/4, ndartPrivate)
+				if err != nil {
+					return nil, err
+				}
+				res, err := measureConcurrent(s, app.Iterate, opt)
+				if err != nil {
+					return nil, err
+				}
+				switch {
+				case !part && op == "dot":
+					row.SharedDOT = res
+				case !part && op == "copy":
+					row.SharedCOPY = res
+				case part && op == "dot":
+					row.PartDOT = res
+				default:
+					row.PartCOPY = res
+				}
+			}
+		}
+		// Idealized: host alone (NDA assumed to soak all idle BW).
+		s, err := sim.New(sim.Default(mix))
+		if err != nil {
+			return nil, err
+		}
+		res, err := measureConcurrent(s, nil, opt)
+		if err != nil {
+			return nil, err
+		}
+		row.IdealHostIPC = res.HostIPC
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"chopim/internal/apps"
+	"chopim/internal/nda"
+	"chopim/internal/sim"
+	"chopim/internal/workload"
+)
+
+// PolicyPoint labels one write-throttling configuration.
+type PolicyPoint struct {
+	Label string
+	Res   Result
+}
+
+// Fig12Row holds every policy's result for one mix.
+type Fig12Row struct {
+	Mix    string
+	Points []PolicyPoint
+}
+
+// Fig12 reproduces Figure 12: the write-intensive COPY under four NDA
+// write-issue policies — stochastic 1/16, stochastic 1/4, next-rank
+// prediction, and unthrottled issue-if-idle. Throttling trades NDA
+// bandwidth for host IPC; next-rank prediction sits near the tuned
+// stochastic point without tuning.
+func Fig12(opt Options) ([]Fig12Row, error) {
+	type policyCfg struct {
+		label string
+		pol   nda.Policy
+		prob  float64
+	}
+	policies := []policyCfg{
+		{"Stochastic_issue(1/16)", nda.Stochastic, 1.0 / 16},
+		{"Stochastic_issue(1/4)", nda.Stochastic, 1.0 / 4},
+		{"Predict_next_rank", nda.NextRank, 0},
+		{"Issue_if_idle", nda.IssueIfIdle, 0},
+	}
+	perRankBytes := 2 << 20
+	mixes := len(workload.Mixes)
+	if opt.Quick {
+		perRankBytes = 256 << 10
+		mixes = 2
+	}
+	var rows []Fig12Row
+	for mix := 0; mix < mixes; mix++ {
+		row := Fig12Row{Mix: workload.MixName(mix)}
+		for _, p := range policies {
+			cfg := sim.Default(mix)
+			cfg.NDA.Policy = p.pol
+			cfg.NDA.StochasticProb = p.prob
+			s, err := sim.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			app, err := apps.NewMicroPlaced(s.RT, "copy", perRankBytes/4, ndartPrivate)
+			if err != nil {
+				return nil, err
+			}
+			res, err := measureConcurrent(s, app.Iterate, opt)
+			if err != nil {
+				return nil, err
+			}
+			row.Points = append(row.Points, PolicyPoint{Label: p.label, Res: res})
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

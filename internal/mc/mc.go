@@ -1,0 +1,364 @@
+// Package mc implements the host-side memory controller: one FR-FCFS
+// scheduler per channel with separate 32-entry read and write queues,
+// watermark-based write draining, and an open-page policy (Table II).
+//
+// The controller also exposes the coordination hooks Chopim's NDA
+// controller needs (Section III): per-cycle host activity per rank, the
+// rank targeted by the oldest outstanding read (next-rank prediction),
+// and pending-demand checks used to prioritize host row commands.
+package mc
+
+import (
+	"chopim/internal/addrmap"
+	"chopim/internal/dram"
+	"chopim/internal/stats"
+)
+
+// Request is one block-granularity memory transaction.
+type Request struct {
+	Addr   uint64
+	DAddr  dram.Addr
+	Write  bool
+	Arrive int64
+	Done   func(dramDone int64) // nil for writes and prefetches
+}
+
+// Config tunes one channel controller.
+type Config struct {
+	ReadQueue  int
+	WriteQueue int
+	// Write drain watermarks (occupancy counts on the write queue).
+	DrainHigh int
+	DrainLow  int
+}
+
+// DefaultConfig returns the paper's controller parameters.
+func DefaultConfig() Config {
+	return Config{ReadQueue: 32, WriteQueue: 32, DrainHigh: 24, DrainLow: 8}
+}
+
+// Controller schedules one channel.
+type Controller struct {
+	cfg     Config
+	mem     *dram.Mem
+	mapper  addrmap.Mapper
+	channel int
+
+	rq []*Request
+	wq []*Request
+	// overflow absorbs writebacks beyond the write queue (an unbounded
+	// eviction buffer drained into wq as space frees).
+	overflow []*Request
+	drain    bool
+
+	// issuedRank is the rank the host issued a command to this cycle
+	// (-1 if none); refreshed each Tick.
+	issuedRank  int
+	issuedIsCol bool
+
+	// seen/seenGen implement a per-Tick visited-bank set without
+	// per-cycle allocation.
+	seen    []int64
+	seenGen int64
+
+	// Per-rank idle histograms (Fig 2) and bandwidth accounting.
+	IdleHists []stats.IdleHist
+
+	ReadsIssued, WritesIssued int64
+	ActsIssued, PresIssued    int64
+	ReadLatencySum            int64
+	Drains, Refreshes         int64
+	nextRefresh               int64
+}
+
+// NewController builds a controller for the given channel.
+func NewController(cfg Config, mem *dram.Mem, mapper addrmap.Mapper, channel int) *Controller {
+	return &Controller{
+		cfg: cfg, mem: mem, mapper: mapper, channel: channel,
+		issuedRank: -1,
+		seen:       make([]int64, mem.Geom.Ranks*mem.Geom.BanksPerRank()),
+		IdleHists:  make([]stats.IdleHist, mem.Geom.Ranks),
+	}
+}
+
+// Channel returns the channel index this controller owns.
+func (c *Controller) Channel() int { return c.channel }
+
+// EnqueueRead adds a read; done fires at data-available time.
+// It returns false when the read queue is full.
+func (c *Controller) EnqueueRead(addr uint64, now int64, done func(int64)) bool {
+	if len(c.rq) >= c.cfg.ReadQueue {
+		return false
+	}
+	c.rq = append(c.rq, &Request{Addr: addr, DAddr: c.mapper.Decode(addr), Arrive: now, Done: done})
+	return true
+}
+
+// EnqueueWrite adds a writeback. Overflow beyond the write queue is
+// buffered (never refused) to keep eviction handling simple.
+func (c *Controller) EnqueueWrite(addr uint64, now int64) bool {
+	r := &Request{Addr: addr, DAddr: c.mapper.Decode(addr), Write: true, Arrive: now}
+	if len(c.wq) >= c.cfg.WriteQueue {
+		c.overflow = append(c.overflow, r)
+		return true
+	}
+	c.wq = append(c.wq, r)
+	return true
+}
+
+// EnqueueControl submits an NDA launch packet: a write transaction to the
+// rank's control registers that occupies the command/data channel like
+// any host write (Section V). done fires when the write issues.
+func (c *Controller) EnqueueControl(daddr dram.Addr, now int64, done func(int64)) {
+	r := &Request{DAddr: daddr, Write: true, Arrive: now, Done: done}
+	if len(c.wq) >= c.cfg.WriteQueue {
+		c.overflow = append(c.overflow, r)
+		return
+	}
+	c.wq = append(c.wq, r)
+}
+
+// QueueOccupancy returns current read/write queue lengths.
+func (c *Controller) QueueOccupancy() (reads, writes int) {
+	return len(c.rq), len(c.wq) + len(c.overflow)
+}
+
+// HostIssuedRank returns the rank the host issued any command to this
+// cycle, or -1. Valid after Tick for the same cycle.
+func (c *Controller) HostIssuedRank() int { return c.issuedRank }
+
+// OldestReadRank implements the next-rank predictor input: the rank of
+// the oldest outstanding read in this channel's transaction queue.
+func (c *Controller) OldestReadRank() (rank int, ok bool) {
+	if len(c.rq) == 0 {
+		return 0, false
+	}
+	return c.rq[0].DAddr.Rank, true
+}
+
+// HasDemandFor reports whether any queued host request targets the given
+// rank and bank (used to give host row commands priority over NDA row
+// commands, Section III-B).
+func (c *Controller) HasDemandFor(rank, flatBank int) bool {
+	for _, r := range c.rq {
+		if r.DAddr.Rank == rank && r.DAddr.GlobalBank(c.mem.Geom) == flatBank {
+			return true
+		}
+	}
+	for _, r := range c.wq {
+		if r.DAddr.Rank == rank && r.DAddr.GlobalBank(c.mem.Geom) == flatBank {
+			return true
+		}
+	}
+	return false
+}
+
+// HasAnyDemandFor reports whether any queued request targets the rank.
+func (c *Controller) HasAnyDemandFor(rank int) bool {
+	for _, r := range c.rq {
+		if r.DAddr.Rank == rank {
+			return true
+		}
+	}
+	for _, r := range c.wq {
+		if r.DAddr.Rank == rank {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick advances the controller one DRAM cycle, issuing at most one
+// command on the channel.
+func (c *Controller) Tick(now int64) {
+	c.issuedRank = -1
+	c.issuedIsCol = false
+
+	// Refresh scheduling (disabled when tREFI is zero, the paper's
+	// configuration): every tREFI, close the due rank and issue REF.
+	if c.mem.T.REFI > 0 && c.refresh(now) {
+		return
+	}
+
+	// Refill the write queue from the overflow buffer.
+	for len(c.overflow) > 0 && len(c.wq) < c.cfg.WriteQueue {
+		c.wq = append(c.wq, c.overflow[0])
+		c.overflow = c.overflow[1:]
+	}
+
+	// Write-drain mode hysteresis.
+	if !c.drain && len(c.wq) >= c.cfg.DrainHigh {
+		c.drain = true
+		c.Drains++
+	}
+	if c.drain && len(c.wq) <= c.cfg.DrainLow {
+		c.drain = false
+	}
+
+	useWrites := c.drain || (len(c.rq) == 0 && len(c.wq) > 0)
+	if useWrites {
+		if c.schedule(c.wq, now, true) {
+			return
+		}
+		// Fall through: if no write can issue, try reads anyway.
+		c.schedule(c.rq, now, false)
+		return
+	}
+	if c.schedule(c.rq, now, false) {
+		return
+	}
+	// Opportunistic writes when no read can make progress.
+	c.schedule(c.wq, now, true)
+}
+
+// schedule applies FR-FCFS to the given queue: first a ready row-hit
+// column command in arrival order, then a row command (ACT or PRE) for
+// the oldest request per bank. Returns true if a command issued.
+func (c *Controller) schedule(q []*Request, now int64, writes bool) bool {
+	// Pass 1: ready column commands (row hits).
+	for i, r := range q {
+		row, open := c.mem.OpenRow(r.DAddr)
+		if !open || row != r.DAddr.Row {
+			continue
+		}
+		cmd := dram.CmdRD
+		if writes {
+			cmd = dram.CmdWR
+		}
+		if !c.mem.CanIssue(cmd, r.DAddr, now, false) {
+			continue
+		}
+		c.issueColumn(cmd, r, i, now, writes)
+		return true
+	}
+	// Pass 2: row commands for the oldest request in each conflicting
+	// bank, in arrival order.
+	c.seenGen++
+	for _, r := range q {
+		bankKey := r.DAddr.Rank*c.mem.Geom.BanksPerRank() + r.DAddr.GlobalBank(c.mem.Geom)
+		if c.seen[bankKey] == c.seenGen {
+			continue
+		}
+		c.seen[bankKey] = c.seenGen
+		row, open := c.mem.OpenRow(r.DAddr)
+		if open && row == r.DAddr.Row {
+			continue // column blocked only by timing; wait
+		}
+		if open {
+			// Conflict: precharge unless an earlier request still
+			// wants the open row.
+			if c.rowWanted(r.DAddr, row) {
+				continue
+			}
+			if c.mem.CanIssue(dram.CmdPRE, r.DAddr, now, false) {
+				c.mem.Issue(dram.CmdPRE, r.DAddr, now, false)
+				c.PresIssued++
+				c.markRowCmd(r.DAddr, now)
+				return true
+			}
+			continue
+		}
+		if c.mem.CanIssue(dram.CmdACT, r.DAddr, now, false) {
+			c.mem.Issue(dram.CmdACT, r.DAddr, now, false)
+			c.ActsIssued++
+			c.markRowCmd(r.DAddr, now)
+			return true
+		}
+	}
+	return false
+}
+
+// rowWanted reports whether any queued request still targets the open row
+// of the same bank (open-page policy keeps it open for them).
+func (c *Controller) rowWanted(a dram.Addr, openRow int) bool {
+	match := func(r *Request) bool {
+		return r.DAddr.Rank == a.Rank && r.DAddr.BankGroup == a.BankGroup &&
+			r.DAddr.Bank == a.Bank && r.DAddr.Row == openRow
+	}
+	for _, r := range c.rq {
+		if match(r) {
+			return true
+		}
+	}
+	for _, r := range c.wq {
+		if match(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Controller) issueColumn(cmd dram.Command, r *Request, idx int, now int64, write bool) {
+	c.mem.Issue(cmd, r.DAddr, now, false)
+	c.issuedRank = r.DAddr.Rank
+	c.issuedIsCol = true
+	var dataStart, dataEnd int64
+	if write {
+		c.WritesIssued++
+		dataStart = now + int64(c.mem.T.CWL)
+		dataEnd = now + c.mem.WriteLatency()
+		c.wq = append(c.wq[:idx], c.wq[idx+1:]...)
+		if r.Done != nil {
+			r.Done(dataEnd)
+		}
+	} else {
+		c.ReadsIssued++
+		dataStart = now + int64(c.mem.T.CL)
+		dataEnd = now + c.mem.ReadLatency()
+		c.ReadLatencySum += dataEnd - r.Arrive
+		c.rq = append(c.rq[:idx], c.rq[idx+1:]...)
+		if r.Done != nil {
+			r.Done(dataEnd)
+		}
+	}
+	// The rank counts as host-busy during the data burst; the CAS-wait
+	// window remains available to NDA column commands.
+	c.IdleHists[r.DAddr.Rank].MarkBusy(dataStart, dataEnd)
+}
+
+// markRowCmd records host activity on a rank for a row command.
+func (c *Controller) markRowCmd(a dram.Addr, now int64) {
+	c.issuedRank = a.Rank
+	c.IdleHists[a.Rank].MarkBusy(now, now+1)
+}
+
+// refresh issues PREs and REF for ranks whose tREFI deadline passed.
+// Returns true if it consumed this cycle's command slot. Note: with
+// refresh enabled and NDAs active on the same rank, quiescing can take
+// longer because NDA activates race the controller's precharges; the
+// paper's configuration (and every experiment here) runs refresh
+// disabled, matching Table II.
+func (c *Controller) refresh(now int64) bool {
+	if now < c.nextRefresh {
+		return false
+	}
+	rank := int(now/int64(c.mem.T.REFI)) % c.mem.Geom.Ranks
+	a := dram.Addr{Channel: c.channel, Rank: rank}
+	if c.mem.CanIssue(dram.CmdREF, a, now, false) {
+		c.mem.Issue(dram.CmdREF, a, now, false)
+		c.markRowCmd(a, now)
+		c.nextRefresh = now + int64(c.mem.T.REFI)
+		c.Refreshes++
+		return true
+	}
+	// Close any open bank in the rank so REF becomes legal.
+	for bg := 0; bg < c.mem.Geom.BankGroups; bg++ {
+		for bk := 0; bk < c.mem.Geom.BanksPerGroup; bk++ {
+			b := dram.Addr{Channel: c.channel, Rank: rank, BankGroup: bg, Bank: bk}
+			if _, open := c.mem.OpenRow(b); open && c.mem.CanIssue(dram.CmdPRE, b, now, false) {
+				c.mem.Issue(dram.CmdPRE, b, now, false)
+				c.PresIssued++
+				c.markRowCmd(b, now)
+				return true
+			}
+		}
+	}
+	return true // hold the slot until the rank quiesces
+}
+
+// FinalizeStats closes the idle histograms at simulation end.
+func (c *Controller) FinalizeStats(end int64) {
+	for i := range c.IdleHists {
+		c.IdleHists[i].Finalize(end)
+	}
+}

@@ -1,0 +1,203 @@
+package mc
+
+import (
+	"testing"
+
+	"chopim/internal/addrmap"
+	"chopim/internal/dram"
+)
+
+func testController() (*Controller, *dram.Mem, addrmap.Mapper) {
+	g := dram.DefaultGeometry()
+	mem := dram.New(g, dram.DDR42400())
+	m := addrmap.NewSkylakeLike(g)
+	return NewController(DefaultConfig(), mem, m, 0), mem, m
+}
+
+// addrOnChannel0 finds a block address decoding to channel 0.
+func addrOnChannel0(m addrmap.Mapper, start uint64) uint64 {
+	for a := start; ; a += dram.BlockBytes {
+		if m.Decode(a).Channel == 0 {
+			return a
+		}
+	}
+}
+
+func TestReadCompletesWithDRAMLatency(t *testing.T) {
+	c, mem, m := testController()
+	addr := addrOnChannel0(m, 0)
+	var doneAt int64 = -1
+	if !c.EnqueueRead(addr, 0, func(d int64) { doneAt = d }) {
+		t.Fatal("enqueue refused on empty queue")
+	}
+	for cyc := int64(0); cyc < 200 && doneAt < 0; cyc++ {
+		c.Tick(cyc)
+	}
+	if doneAt < 0 {
+		t.Fatal("read never completed")
+	}
+	// ACT + RD: at least tRCD + CL + BL.
+	min := int64(mem.T.RCD + mem.T.CL + mem.T.BL)
+	if doneAt < min {
+		t.Errorf("read completed at %d, faster than tRCD+CL+BL=%d", doneAt, min)
+	}
+	if c.ReadsIssued != 1 || mem.NumRD != 1 {
+		t.Errorf("read accounting: mc=%d dram=%d", c.ReadsIssued, mem.NumRD)
+	}
+}
+
+func TestReadQueueCapacity(t *testing.T) {
+	c, _, m := testController()
+	a := addrOnChannel0(m, 0)
+	for i := 0; i < DefaultConfig().ReadQueue; i++ {
+		if !c.EnqueueRead(a+uint64(i)*4096*64, 0, nil) {
+			t.Fatalf("queue refused entry %d", i)
+		}
+	}
+	if c.EnqueueRead(a+1<<30, 0, nil) {
+		t.Error("queue accepted entry beyond capacity")
+	}
+}
+
+func TestWriteOverflowNeverRefused(t *testing.T) {
+	c, _, m := testController()
+	a := addrOnChannel0(m, 0)
+	for i := 0; i < 3*DefaultConfig().WriteQueue; i++ {
+		if !c.EnqueueWrite(a+uint64(i)*64*128, 0) {
+			t.Fatalf("writeback %d refused", i)
+		}
+	}
+	r, w := c.QueueOccupancy()
+	if r != 0 || w != 3*DefaultConfig().WriteQueue {
+		t.Errorf("occupancy = %d/%d", r, w)
+	}
+}
+
+func TestWriteDrainServesWrites(t *testing.T) {
+	c, mem, m := testController()
+	a := addrOnChannel0(m, 0)
+	for i := 0; i < DefaultConfig().DrainHigh+2; i++ {
+		c.EnqueueWrite(a+uint64(i)*64*97, 0)
+	}
+	for cyc := int64(0); cyc < 3000; cyc++ {
+		c.Tick(cyc)
+	}
+	if mem.NumWR == 0 {
+		t.Error("drain mode issued no writes")
+	}
+	if c.Drains == 0 {
+		t.Error("drain mode never triggered above high watermark")
+	}
+}
+
+func TestRowHitPriorityFRFCFS(t *testing.T) {
+	c, mem, m := testController()
+	// Two reads to the same row (hit after ACT), one to a different row
+	// of the same bank enqueued between them: FR-FCFS should serve both
+	// same-row reads before the conflicting one.
+	base := addrOnChannel0(m, 0)
+	d0 := m.Decode(base)
+	var sameRow, otherRow uint64
+	found := 0
+	for a := base + dram.BlockBytes; found < 2; a += dram.BlockBytes {
+		d := m.Decode(a)
+		if d.Channel != 0 || d.Rank != d0.Rank || d.BankGroup != d0.BankGroup || d.Bank != d0.Bank {
+			continue
+		}
+		if d.Row == d0.Row && sameRow == 0 {
+			sameRow = a
+			found++
+		}
+		if d.Row != d0.Row && otherRow == 0 {
+			otherRow = a
+			found++
+		}
+	}
+	var order []uint64
+	mk := func(addr uint64) func(int64) {
+		return func(int64) { order = append(order, addr) }
+	}
+	c.EnqueueRead(base, 0, mk(base))
+	c.EnqueueRead(otherRow, 0, mk(otherRow))
+	c.EnqueueRead(sameRow, 0, mk(sameRow))
+	for cyc := int64(0); cyc < 1000 && len(order) < 3; cyc++ {
+		c.Tick(cyc)
+	}
+	if len(order) != 3 {
+		t.Fatalf("only %d reads completed", len(order))
+	}
+	if order[2] != otherRow {
+		t.Errorf("row conflict served before row hits: order=%v (conflict=%#x)", order, otherRow)
+	}
+	_ = mem
+}
+
+func TestOldestReadRank(t *testing.T) {
+	c, _, m := testController()
+	if _, ok := c.OldestReadRank(); ok {
+		t.Error("OldestReadRank reported a rank on empty queue")
+	}
+	a := addrOnChannel0(m, 0)
+	c.EnqueueRead(a, 0, nil)
+	r, ok := c.OldestReadRank()
+	if !ok || r != m.Decode(a).Rank {
+		t.Errorf("OldestReadRank = (%d,%v)", r, ok)
+	}
+}
+
+func TestHasDemandFor(t *testing.T) {
+	c, mem, m := testController()
+	a := addrOnChannel0(m, 0)
+	d := m.Decode(a)
+	c.EnqueueRead(a, 0, nil)
+	if !c.HasDemandFor(d.Rank, d.GlobalBank(mem.Geom)) {
+		t.Error("demand not visible for queued read's bank")
+	}
+	if c.HasDemandFor(d.Rank, (d.GlobalBank(mem.Geom)+1)%mem.Geom.BanksPerRank()) {
+		t.Error("phantom demand on other bank")
+	}
+	if !c.HasAnyDemandFor(d.Rank) {
+		t.Error("HasAnyDemandFor missed the rank")
+	}
+}
+
+func TestHostIssuedRankTracksCycle(t *testing.T) {
+	c, _, m := testController()
+	a := addrOnChannel0(m, 0)
+	c.EnqueueRead(a, 0, nil)
+	c.Tick(0) // ACT issues
+	if c.HostIssuedRank() != m.Decode(a).Rank {
+		t.Errorf("HostIssuedRank = %d after ACT", c.HostIssuedRank())
+	}
+	// Drain the queue, then an idle cycle reports no rank.
+	for cyc := int64(1); cyc < 200; cyc++ {
+		c.Tick(cyc)
+	}
+	if c.HostIssuedRank() != -1 {
+		t.Errorf("HostIssuedRank = %d when idle, want -1", c.HostIssuedRank())
+	}
+}
+
+func TestRefreshScheduling(t *testing.T) {
+	g := dram.DefaultGeometry()
+	tm := dram.DDR42400()
+	tm.REFI = 2000
+	tm.RFC = 420
+	mem := dram.New(g, tm)
+	m := addrmap.NewSkylakeLike(g)
+	c := NewController(DefaultConfig(), mem, m, 0)
+	// Keep a stream of reads flowing while refreshes interleave.
+	a := addrOnChannel0(m, 0)
+	for cyc := int64(0); cyc < 20000; cyc++ {
+		if cyc%10 == 0 {
+			c.EnqueueRead(a+uint64(cyc%512)*64*64, cyc, nil)
+		}
+		c.Tick(cyc)
+	}
+	if c.Refreshes < 5 {
+		t.Errorf("only %d refreshes in 10 tREFI intervals", c.Refreshes)
+	}
+	if c.ReadsIssued == 0 {
+		t.Error("reads starved by refresh")
+	}
+}

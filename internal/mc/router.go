@@ -1,0 +1,32 @@
+package mc
+
+import "chopim/internal/addrmap"
+
+// Router fans requests out to per-channel controllers by decoded channel
+// index. It adapts the controllers to the cache.Backend interface, using
+// a clock source for arrival timestamps.
+type Router struct {
+	ctrls  []*Controller
+	mapper addrmap.Mapper
+	now    func() int64
+}
+
+// NewRouter builds a router over the per-channel controllers.
+func NewRouter(ctrls []*Controller, mapper addrmap.Mapper, now func() int64) *Router {
+	return &Router{ctrls: ctrls, mapper: mapper, now: now}
+}
+
+// EnqueueRead implements cache.Backend.
+func (r *Router) EnqueueRead(addr uint64, done func(int64)) bool {
+	ch := r.mapper.Decode(addr).Channel
+	return r.ctrls[ch].EnqueueRead(addr, r.now(), done)
+}
+
+// EnqueueWrite implements cache.Backend.
+func (r *Router) EnqueueWrite(addr uint64) bool {
+	ch := r.mapper.Decode(addr).Channel
+	return r.ctrls[ch].EnqueueWrite(addr, r.now())
+}
+
+// Controllers returns the underlying per-channel controllers.
+func (r *Router) Controllers() []*Controller { return r.ctrls }

@@ -1,0 +1,399 @@
+package nda
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chopim/internal/dram"
+	"chopim/internal/mc"
+)
+
+// Policy selects the NDA write-throttling mechanism (Section III-B).
+type Policy int
+
+// Write-issue policies.
+const (
+	// IssueIfIdle issues aggressively whenever the rank is idle from the
+	// host's perspective (the baseline opportunistic policy).
+	IssueIfIdle Policy = iota
+	// Stochastic issues writes with probability StochasticProb per
+	// attempt; requires no extra signaling.
+	Stochastic
+	// NextRank inhibits writes on a rank while the oldest outstanding
+	// host read in the channel targets that rank (needs one signal pin).
+	NextRank
+)
+
+// String names the policy as in Figure 12's legend.
+func (p Policy) String() string {
+	switch p {
+	case IssueIfIdle:
+		return "Issue_if_idle"
+	case Stochastic:
+		return "Stochastic_issue"
+	case NextRank:
+		return "Predict_next_rank"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// Config tunes the NDA engine.
+type Config struct {
+	Policy         Policy
+	StochasticProb float64 // write-issue probability under Stochastic
+	WriteBufCap    int     // PE write buffer entries (blocks); Table II: 128
+	Seed           int64
+	// VerifyFSM additionally runs an independent host-side replica FSM
+	// from host-visible inputs only and asserts cycle-exact agreement
+	// with the NDA-side FSM (the Section III-D argument).
+	VerifyFSM bool
+}
+
+// DefaultConfig returns the paper's NDA parameters with the robust
+// next-rank predictor.
+func DefaultConfig() Config {
+	return Config{Policy: NextRank, StochasticProb: 0.25, WriteBufCap: 128, Seed: 42}
+}
+
+// RankStats aggregates one rank-NDA's activity.
+type RankStats struct {
+	BlocksRead    int64
+	BlocksWritten int64
+	RowActs       int64
+	StallsHost    int64 // cycles skipped because the host used the rank
+	StallsPolicy  int64 // write attempts inhibited by the policy
+	OpsCompleted  int64
+}
+
+// rankFSM is the deterministic per-rank NDA state machine. It is the
+// unit that Section III-D replicates: every transition is a function of
+// (launched op descriptors, host-visible DRAM timing state, host queue
+// state, the shared clock), so a host-side copy stays in lock-step
+// without any NDA-to-host signaling.
+type rankFSM struct {
+	ops      []*Op
+	writeBuf []dram.Addr // pending result blocks (addresses)
+	wrOwner  []*Op       // op owning each pending write
+	draining bool
+	readsRun int // reads completed toward the current batch
+	rng      *rand.Rand
+
+	stats RankStats
+}
+
+// snapshot summarizes observable FSM state for replica comparison.
+func (f *rankFSM) snapshot() string {
+	return fmt.Sprintf("ops=%d wb=%d drain=%v reads=%d rd=%d wr=%d",
+		len(f.ops), len(f.writeBuf), f.draining, f.readsRun,
+		f.stats.BlocksRead, f.stats.BlocksWritten)
+}
+
+// RankNDA is one rank's PE cluster plus its NDA memory controller, with
+// an optional host-side replica FSM.
+type RankNDA struct {
+	Channel, Rank int
+
+	cfg  Config
+	mem  *dram.Mem
+	host *mc.Controller
+
+	fsm     rankFSM
+	replica *rankFSM
+}
+
+// Stats returns the rank's activity counters.
+func (n *RankNDA) Stats() RankStats { return n.fsm.stats }
+
+// Engine owns every RankNDA in the system and the host-side NDA
+// controller logic that coordinates with the host memory controllers.
+type Engine struct {
+	cfg   Config
+	mem   *dram.Mem
+	hosts []*mc.Controller // per channel
+	Ranks [][]*RankNDA     // [channel][rank]
+}
+
+// NewEngine builds the NDA engine over the memory and host controllers.
+func NewEngine(cfg Config, mem *dram.Mem, hosts []*mc.Controller) *Engine {
+	if cfg.WriteBufCap <= 0 {
+		cfg.WriteBufCap = 128
+	}
+	e := &Engine{cfg: cfg, mem: mem, hosts: hosts}
+	for ch := 0; ch < mem.Geom.Channels; ch++ {
+		var row []*RankNDA
+		for r := 0; r < mem.Geom.Ranks; r++ {
+			seed := cfg.Seed + int64(ch*64+r)
+			n := &RankNDA{
+				Channel: ch, Rank: r, cfg: cfg, mem: mem, host: hosts[ch],
+				fsm: rankFSM{rng: rand.New(rand.NewSource(seed))},
+			}
+			if cfg.VerifyFSM {
+				n.replica = &rankFSM{rng: rand.New(rand.NewSource(seed))}
+			}
+			row = append(row, n)
+		}
+		e.Ranks = append(e.Ranks, row)
+	}
+	return e
+}
+
+// Launch enqueues an op on the given rank's NDA. makeOp must build a
+// fresh op (fresh iterators) on each call: when FSM verification is on,
+// a second instance feeds the host-side replica. In hardware the launch
+// arrives through a control-register write; the runtime layer models that
+// channel occupancy.
+func (e *Engine) Launch(channel, rank int, makeOp func() *Op) {
+	n := e.Ranks[channel][rank]
+	n.fsm.ops = append(n.fsm.ops, makeOp())
+	if n.replica != nil {
+		op := makeOp()
+		op.Done = nil // completion is reported by the primary only
+		n.replica.ops = append(n.replica.ops, op)
+	}
+}
+
+// Busy reports whether any NDA still has work queued.
+func (e *Engine) Busy() bool {
+	for _, row := range e.Ranks {
+		for _, n := range row {
+			if len(n.fsm.ops) > 0 || len(n.fsm.writeBuf) > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Tick advances every rank NDA by one DRAM cycle. Must run after the
+// host controllers' Tick for the same cycle (host priority).
+func (e *Engine) Tick(now int64) {
+	for ch, row := range e.Ranks {
+		hostRank := e.hosts[ch].HostIssuedRank()
+		for _, n := range row {
+			n.tick(now, hostRank)
+		}
+	}
+}
+
+// BytesMoved returns total NDA data movement in bytes.
+func (e *Engine) BytesMoved() int64 {
+	var b int64
+	for _, row := range e.Ranks {
+		for _, n := range row {
+			b += (n.fsm.stats.BlocksRead + n.fsm.stats.BlocksWritten) * dram.BlockBytes
+		}
+	}
+	return b
+}
+
+// TotalStats sums per-rank statistics.
+func (e *Engine) TotalStats() RankStats {
+	var t RankStats
+	for _, row := range e.Ranks {
+		for _, n := range row {
+			s := n.fsm.stats
+			t.BlocksRead += s.BlocksRead
+			t.BlocksWritten += s.BlocksWritten
+			t.RowActs += s.RowActs
+			t.StallsHost += s.StallsHost
+			t.StallsPolicy += s.StallsPolicy
+			t.OpsCompleted += s.OpsCompleted
+		}
+	}
+	return t
+}
+
+// tick attempts to issue at most one DRAM command for this rank's NDA.
+// The replica, when present, is stepped first with apply=false so both
+// FSMs evaluate against identical pre-issue DRAM state; their observable
+// state must then agree.
+func (n *RankNDA) tick(now int64, hostIssuedRank int) {
+	if len(n.fsm.ops) == 0 && len(n.fsm.writeBuf) == 0 {
+		return
+	}
+	if n.replica != nil {
+		n.stepFSM(n.replica, now, hostIssuedRank, false)
+	}
+	n.stepFSM(&n.fsm, now, hostIssuedRank, true)
+	if n.replica != nil {
+		if got, want := n.replica.snapshot(), n.fsm.snapshot(); got != want {
+			panic(fmt.Sprintf("nda: replica FSM diverged on ch%d/rk%d at cycle %d: replica{%s} nda{%s}",
+				n.Channel, n.Rank, now, got, want))
+		}
+	}
+}
+
+// stepFSM advances one FSM by one cycle. When apply is true, DRAM
+// commands actually issue; the replica passes false and only predicts.
+func (n *RankNDA) stepFSM(f *rankFSM, now int64, hostIssuedRank int, apply bool) {
+	// Host accessed this rank this cycle: the NDA yields (fine-grain
+	// interleaving with host priority). The replica sees the same host
+	// command stream.
+	if hostIssuedRank == n.Rank {
+		f.stats.StallsHost++
+		return
+	}
+	wantWrite := false
+	switch {
+	case len(f.writeBuf) >= n.cfg.WriteBufCap:
+		f.draining = true
+		wantWrite = true
+	case f.draining && len(f.writeBuf) > 0:
+		wantWrite = true
+	case len(f.writeBuf) > 0 && (len(f.ops) == 0 || f.ops[0].exhausted):
+		// Tail flush: no more reads to overlap with.
+		f.draining = true
+		wantWrite = true
+	default:
+		f.draining = false
+	}
+	if wantWrite {
+		n.tryWrite(f, now, apply)
+		return
+	}
+	if len(f.ops) > 0 {
+		n.tryRead(f, now, apply)
+	}
+}
+
+// tryWrite attempts to issue the head write-buffer entry.
+func (n *RankNDA) tryWrite(f *rankFSM, now int64, apply bool) {
+	a := f.writeBuf[0]
+	// Policy throttling applies to writes only.
+	switch n.cfg.Policy {
+	case Stochastic:
+		if f.rng.Float64() >= n.cfg.StochasticProb {
+			f.stats.StallsPolicy++
+			return
+		}
+	case NextRank:
+		if r, ok := n.host.OldestReadRank(); ok && r == n.Rank {
+			f.stats.StallsPolicy++
+			return
+		}
+	}
+	if !n.access(f, dram.CmdWR, a, now, apply) {
+		return
+	}
+	owner := f.wrOwner[0]
+	f.writeBuf = f.writeBuf[1:]
+	f.wrOwner = f.wrOwner[1:]
+	f.stats.BlocksWritten++
+	owner.pendingWr--
+	n.maybeComplete(f, owner, now)
+}
+
+// tryRead attempts the next read of the head op, producing result-write
+// entries at batch boundaries.
+func (n *RankNDA) tryRead(f *rankFSM, now int64, apply bool) {
+	op := f.ops[0]
+	// Backpressure: a full batch of results must fit in the buffer.
+	if op.Kind.WritesResult() && len(f.writeBuf) > n.cfg.WriteBufCap-BatchBlocks {
+		f.draining = true
+		return
+	}
+	a, ok := op.nextRead()
+	if !ok {
+		// All reads done; flush any remaining result writes.
+		n.emitWrites(f, op, BatchBlocks)
+		if op.pendingWr == 0 {
+			n.maybeComplete(f, op, now)
+		}
+		return
+	}
+	if !n.access(f, dram.CmdRD, a, now, apply) {
+		op.pushback(a)
+		return
+	}
+	f.stats.BlocksRead++
+	f.readsRun++
+	if f.readsRun >= op.batchReads() {
+		f.readsRun = 0
+		n.emitWrites(f, op, BatchBlocks)
+	}
+}
+
+// emitWrites moves up to k result addresses of op into the write buffer.
+func (n *RankNDA) emitWrites(f *rankFSM, op *Op, k int) {
+	if op.Writes == nil {
+		return
+	}
+	for i := 0; i < k; i++ {
+		a, ok := op.Writes()
+		if !ok {
+			break
+		}
+		f.writeBuf = append(f.writeBuf, a)
+		f.wrOwner = append(f.wrOwner, op)
+		op.pendingWr++
+	}
+}
+
+// maybeComplete retires the head op when fully done.
+func (n *RankNDA) maybeComplete(f *rankFSM, op *Op, now int64) {
+	if len(f.ops) == 0 || f.ops[0] != op {
+		return
+	}
+	if !op.exhausted || op.pendingWr > 0 {
+		return
+	}
+	if op.Writes != nil {
+		// The write iterator must be fully drained too.
+		if a, ok := op.Writes(); ok {
+			f.writeBuf = append(f.writeBuf, a)
+			f.wrOwner = append(f.wrOwner, op)
+			op.pendingWr++
+			return
+		}
+	}
+	f.ops = f.ops[1:]
+	f.readsRun = 0
+	f.stats.OpsCompleted++
+	if op.Done != nil {
+		op.Done(now)
+	}
+}
+
+// access performs row management and the column issue for one block.
+// Returns true if the column command may issue this cycle (and issues it
+// when apply is set).
+func (n *RankNDA) access(f *rankFSM, col dram.Command, a dram.Addr, now int64, apply bool) bool {
+	// NDA-side protection: every access must target this NDA's own rank
+	// and pass the launch packet's bounds check.
+	if a.Channel != n.Channel || a.Rank != n.Rank {
+		panic(fmt.Sprintf("nda: protection fault: ch%d/rk%d NDA accessed ch%d/rk%d",
+			n.Channel, n.Rank, a.Channel, a.Rank))
+	}
+	if len(f.ops) > 0 && f.ops[0].Guard != nil && !f.ops[0].Guard(a) {
+		panic(fmt.Sprintf("nda: protection fault: access %+v outside operand bounds", a))
+	}
+	row, open := n.mem.OpenRow(a)
+	if open && row == a.Row {
+		if !n.mem.CanIssue(col, a, now, true) {
+			return false
+		}
+		if apply {
+			n.mem.Issue(col, a, now, true)
+		}
+		return true
+	}
+	// Row command needed: the host's pending requests to this bank take
+	// priority over NDA row commands (Section III-B).
+	if n.host.HasDemandFor(n.Rank, a.GlobalBank(n.mem.Geom)) {
+		f.stats.StallsHost++
+		return false
+	}
+	if open {
+		if n.mem.CanIssue(dram.CmdPRE, a, now, true) && apply {
+			n.mem.Issue(dram.CmdPRE, a, now, true)
+		}
+		return false
+	}
+	if n.mem.CanIssue(dram.CmdACT, a, now, true) {
+		if apply {
+			n.mem.Issue(dram.CmdACT, a, now, true)
+		}
+		f.stats.RowActs++
+	}
+	return false
+}

@@ -1,0 +1,305 @@
+package nda
+
+import (
+	"testing"
+
+	"chopim/internal/addrmap"
+	"chopim/internal/dram"
+	"chopim/internal/mc"
+)
+
+func testSetup(cfg Config) (*Engine, *dram.Mem, []*mc.Controller) {
+	g := dram.DefaultGeometry()
+	mem := dram.New(g, dram.DDR42400())
+	m := addrmap.NewSkylakeLike(g)
+	var mcs []*mc.Controller
+	for ch := 0; ch < g.Channels; ch++ {
+		mcs = append(mcs, mc.NewController(mc.DefaultConfig(), mem, m, ch))
+	}
+	return NewEngine(cfg, mem, mcs), mem, mcs
+}
+
+// seqAddrs builds n sequential column addresses in one rank/bank row(s).
+func seqAddrs(ch, rank, row, n int) []dram.Addr {
+	out := make([]dram.Addr, n)
+	g := dram.DefaultGeometry()
+	for i := range out {
+		out[i] = dram.Addr{
+			Channel: ch, Rank: rank, BankGroup: 0, Bank: 0,
+			Row: row + i/g.Cols, Col: i % g.Cols,
+		}
+	}
+	return out
+}
+
+func tickAll(e *Engine, mcs []*mc.Controller, from, cycles int64) int64 {
+	for c := from; c < from+cycles; c++ {
+		for _, h := range mcs {
+			h.Tick(c)
+		}
+		e.Tick(c)
+	}
+	return from + cycles
+}
+
+func TestOpKindProperties(t *testing.T) {
+	cases := []struct {
+		k      OpKind
+		reads  int
+		writes bool
+	}{
+		{OpCOPY, 1, true}, {OpDOT, 2, false}, {OpNRM2, 1, false},
+		{OpSCAL, 1, true}, {OpAXPY, 2, true}, {OpAXPBY, 2, true},
+		{OpAXPBYPCZ, 3, true}, {OpXMY, 2, true}, {OpGEMV, 1, false},
+	}
+	for _, c := range cases {
+		if got := c.k.ReadOperands(); got != c.reads {
+			t.Errorf("%v.ReadOperands() = %d, want %d", c.k, got, c.reads)
+		}
+		if got := c.k.WritesResult(); got != c.writes {
+			t.Errorf("%v.WritesResult() = %v, want %v", c.k, got, c.writes)
+		}
+	}
+}
+
+func TestNewOpValidation(t *testing.T) {
+	it := SliceIter(nil)
+	mustPanic(t, func() { NewOp(OpDOT, []Iter{it}, nil, nil) })
+	mustPanic(t, func() { NewOp(OpCOPY, []Iter{it}, nil, nil) })
+	mustPanic(t, func() { NewOp(OpDOT, []Iter{it, it}, it, nil) })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestCopyOpMovesAllBlocks(t *testing.T) {
+	e, mem, mcs := testSetup(DefaultConfig())
+	const n = 256
+	var doneAt int64 = -1
+	e.Launch(0, 0, func() *Op {
+		return NewOp(OpCOPY,
+			[]Iter{SliceIter(seqAddrs(0, 0, 0, n))},
+			SliceIter(seqAddrs(0, 0, 1000, n)),
+			func(c int64) { doneAt = c })
+	})
+	tickAll(e, mcs, 0, 50000)
+	if doneAt < 0 {
+		t.Fatal("COPY never completed")
+	}
+	if mem.NumNDARD != n || mem.NumNDAWR != n {
+		t.Errorf("NDA RD/WR = %d/%d, want %d/%d", mem.NumNDARD, mem.NumNDAWR, n, n)
+	}
+	if e.Busy() {
+		t.Error("engine still busy after completion")
+	}
+}
+
+func TestDotReadsRoundRobinBatches(t *testing.T) {
+	e, mem, mcs := testSetup(DefaultConfig())
+	const n = 64
+	done := false
+	e.Launch(0, 0, func() *Op {
+		return NewOp(OpDOT,
+			[]Iter{SliceIter(seqAddrs(0, 0, 0, n)), SliceIter(seqAddrs(0, 0, 500, n))},
+			nil, func(int64) { done = true })
+	})
+	tickAll(e, mcs, 0, 20000)
+	if !done {
+		t.Fatal("DOT never completed")
+	}
+	if mem.NumNDARD != 2*n || mem.NumNDAWR != 0 {
+		t.Errorf("NDA RD/WR = %d/%d, want %d/0", mem.NumNDARD, mem.NumNDAWR, 2*n)
+	}
+}
+
+func TestWriteBufferBackpressure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WriteBufCap = 32
+	e, _, mcs := testSetup(cfg)
+	done := false
+	e.Launch(0, 0, func() *Op {
+		return NewOp(OpCOPY,
+			[]Iter{SliceIter(seqAddrs(0, 0, 0, 512))},
+			SliceIter(seqAddrs(0, 0, 2000, 512)),
+			func(int64) { done = true })
+	})
+	tickAll(e, mcs, 0, 100000)
+	if !done {
+		t.Error("COPY with small write buffer never completed")
+	}
+}
+
+func TestNDAYieldsToHostRank(t *testing.T) {
+	e, mem, mcs := testSetup(Config{Policy: IssueIfIdle, WriteBufCap: 128, Seed: 1})
+	// Saturate host channel 0 rank 0 with reads while NDA works on the
+	// same rank: NDA must still finish, but record host-yield stalls.
+	m := addrmap.NewSkylakeLike(dram.DefaultGeometry())
+	hostAddr := uint64(0)
+	for ; ; hostAddr += dram.BlockBytes {
+		if d := m.Decode(hostAddr); d.Channel == 0 && d.Rank == 0 {
+			break
+		}
+	}
+	done := false
+	e.Launch(0, 0, func() *Op {
+		return NewOp(OpNRM2, []Iter{SliceIter(seqAddrs(0, 0, 100, 256))}, nil,
+			func(int64) { done = true })
+	})
+	var cyc int64
+	for ; cyc < 200000 && !done; cyc++ {
+		mcs[0].EnqueueRead(hostAddr+uint64(cyc%64)*4096*64, cyc, nil)
+		for _, h := range mcs {
+			h.Tick(cyc)
+		}
+		e.Tick(cyc)
+	}
+	if !done {
+		t.Fatal("NDA starved forever under host load")
+	}
+	st := e.Ranks[0][0].Stats()
+	if st.StallsHost == 0 {
+		t.Error("no host-priority stalls recorded under contention")
+	}
+	if mem.NumRD == 0 {
+		t.Error("host reads never issued")
+	}
+}
+
+func TestNextRankPredictionInhibitsWrites(t *testing.T) {
+	e, _, mcs := testSetup(Config{Policy: NextRank, WriteBufCap: 128, Seed: 1})
+	// A standing host read to rank 0 never issued (we never tick the
+	// host MC) keeps the oldest-read predictor pointed at rank 0.
+	m := addrmap.NewSkylakeLike(dram.DefaultGeometry())
+	var hostAddr uint64
+	for ; ; hostAddr += dram.BlockBytes {
+		if d := m.Decode(hostAddr); d.Channel == 0 && d.Rank == 0 {
+			break
+		}
+	}
+	mcs[0].EnqueueRead(hostAddr, 0, nil)
+	// Place the NDA operands in a bank group the standing host read does
+	// not touch, so only the write policy (not host row-command
+	// priority) can throttle it.
+	hostBank := m.Decode(hostAddr)
+	bg := (hostBank.BankGroup + 1) % dram.DefaultGeometry().BankGroups
+	mk := func(row, n int) []dram.Addr {
+		out := seqAddrs(0, 0, row, n)
+		for i := range out {
+			out[i].BankGroup = bg
+		}
+		return out
+	}
+	e.Launch(0, 0, func() *Op {
+		return NewOp(OpCOPY,
+			[]Iter{SliceIter(mk(0, 64))},
+			SliceIter(mk(900, 64)), nil)
+	})
+	// Tick only the NDA engine so the host queue stays populated.
+	for c := int64(0); c < 5000; c++ {
+		e.Tick(c)
+	}
+	st := e.Ranks[0][0].Stats()
+	if st.BlocksWritten != 0 {
+		t.Errorf("NDA wrote %d blocks while next-rank predictor targeted its rank", st.BlocksWritten)
+	}
+	if st.StallsPolicy == 0 {
+		t.Error("no policy stalls recorded")
+	}
+	if st.BlocksRead == 0 {
+		t.Error("reads should proceed under write-only throttling")
+	}
+}
+
+func TestStochasticThrottlesWrites(t *testing.T) {
+	slow, _, mcsSlow := testSetup(Config{Policy: Stochastic, StochasticProb: 1.0 / 64, WriteBufCap: 128, Seed: 1})
+	fast, _, mcsFast := testSetup(Config{Policy: Stochastic, StochasticProb: 1.0, WriteBufCap: 128, Seed: 1})
+	mk := func() *Op {
+		return NewOp(OpCOPY,
+			[]Iter{SliceIter(seqAddrs(0, 0, 0, 256))},
+			SliceIter(seqAddrs(0, 0, 800, 256)), nil)
+	}
+	slow.Launch(0, 0, mk)
+	fast.Launch(0, 0, mk)
+	tickAll(slow, mcsSlow, 0, 4000)
+	tickAll(fast, mcsFast, 0, 4000)
+	ws, wf := slow.Ranks[0][0].Stats().BlocksWritten, fast.Ranks[0][0].Stats().BlocksWritten
+	if ws >= wf {
+		t.Errorf("stochastic 1/64 wrote %d >= prob-1.0's %d", ws, wf)
+	}
+	if slow.Ranks[0][0].Stats().StallsPolicy == 0 {
+		t.Error("low-probability stochastic issue recorded no stalls")
+	}
+}
+
+func TestReplicaVerificationAcrossPolicies(t *testing.T) {
+	for _, pol := range []Policy{IssueIfIdle, Stochastic, NextRank} {
+		cfg := Config{Policy: pol, StochasticProb: 0.25, WriteBufCap: 64, Seed: 3, VerifyFSM: true}
+		e, _, mcs := testSetup(cfg)
+		done := false
+		e.Launch(0, 0, func() *Op {
+			return NewOp(OpCOPY,
+				[]Iter{SliceIter(seqAddrs(0, 0, 0, 128))},
+				SliceIter(seqAddrs(0, 0, 700, 128)),
+				func(int64) { done = true })
+		})
+		tickAll(e, mcs, 0, 30000) // panics on divergence
+		if !done {
+			t.Errorf("policy %v: op did not complete under verification", pol)
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for _, p := range []Policy{IssueIfIdle, Stochastic, NextRank} {
+		if p.String() == "" {
+			t.Error("empty policy name")
+		}
+	}
+	for k := OpAXPBY; k <= OpGEMV; k++ {
+		if k.String() == "" {
+			t.Error("empty op name")
+		}
+	}
+}
+
+// TestProtectionFaultOnForeignRank: an op whose pattern strays off its
+// own rank must trip the NDA-side protection check.
+func TestProtectionFaultOnForeignRank(t *testing.T) {
+	e, _, mcs := testSetup(DefaultConfig())
+	bad := seqAddrs(0, 0, 0, 4)
+	bad[2].Rank = 1 // foreign rank mid-stream
+	e.Launch(0, 0, func() *Op {
+		return NewOp(OpNRM2, []Iter{SliceIter(bad)}, nil, nil)
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("foreign-rank access did not fault")
+		}
+	}()
+	tickAll(e, mcs, 0, 10000)
+}
+
+// TestProtectionFaultOnGuardViolation: a Guard rejecting an access
+// faults the op.
+func TestProtectionFaultOnGuardViolation(t *testing.T) {
+	e, _, mcs := testSetup(DefaultConfig())
+	addrs := seqAddrs(0, 0, 0, 4)
+	e.Launch(0, 0, func() *Op {
+		op := NewOp(OpNRM2, []Iter{SliceIter(addrs)}, nil, nil)
+		op.Guard = func(a dram.Addr) bool { return a.Col < 2 } // rejects later blocks
+		return op
+	})
+	defer func() {
+		if recover() == nil {
+			t.Error("guard violation did not fault")
+		}
+	}()
+	tickAll(e, mcs, 0, 10000)
+}

@@ -1,0 +1,181 @@
+// Package nda implements the near-data accelerator hardware: per-rank
+// processing-element clusters with the Fig 9 batch pipeline, per-rank NDA
+// memory controllers that opportunistically interleave with host traffic,
+// the write-throttling policies (stochastic issue and next-rank
+// prediction), and the replicated finite-state machines that let a
+// host-side controller track NDA activity without signaling (Section
+// III-D).
+package nda
+
+import (
+	"fmt"
+
+	"chopim/internal/dram"
+)
+
+// OpKind enumerates the paper's Table I NDA operations.
+type OpKind int
+
+// Table I operations.
+const (
+	OpAXPBY    OpKind = iota // z = a*x + b*y
+	OpAXPBYPCZ               // w = a*x + b*y + c*z
+	OpAXPY                   // y = a*y + x
+	OpCOPY                   // y = x
+	OpDOT                    // c = x . y
+	OpNRM2                   // c = sqrt(x . x)
+	OpSCAL                   // x = a*x
+	OpXMY                    // z = x (elementwise) y
+	OpGEMV                   // y = A x
+)
+
+// String returns the BLAS-style mnemonic.
+func (k OpKind) String() string {
+	switch k {
+	case OpAXPBY:
+		return "axpby"
+	case OpAXPBYPCZ:
+		return "axpbypcz"
+	case OpAXPY:
+		return "axpy"
+	case OpCOPY:
+		return "copy"
+	case OpDOT:
+		return "dot"
+	case OpNRM2:
+		return "nrm2"
+	case OpSCAL:
+		return "scal"
+	case OpXMY:
+		return "xmy"
+	case OpGEMV:
+		return "gemv"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// ReadOperands returns how many vectors the op streams per batch.
+func (k OpKind) ReadOperands() int {
+	switch k {
+	case OpNRM2, OpSCAL, OpCOPY, OpGEMV:
+		return 1
+	case OpAXPY, OpDOT, OpAXPBY, OpXMY:
+		return 2
+	case OpAXPBYPCZ:
+		return 3
+	}
+	return 1
+}
+
+// WritesResult reports whether the op writes a result vector back to
+// memory (reductions accumulate in the PE scratchpad instead).
+func (k OpKind) WritesResult() bool {
+	switch k {
+	case OpDOT, OpNRM2, OpGEMV:
+		// GEMV's result is one element per matrix row; its writeback
+		// traffic is negligible and modeled as none.
+		return false
+	}
+	return true
+}
+
+// Iter lazily yields the DRAM block addresses of one operand's share on a
+// rank, in processing order. It returns ok=false when exhausted.
+type Iter func() (a dram.Addr, ok bool)
+
+// SliceIter adapts a precomputed address list to an Iter.
+func SliceIter(addrs []dram.Addr) Iter {
+	i := 0
+	return func() (dram.Addr, bool) {
+		if i >= len(addrs) {
+			return dram.Addr{}, false
+		}
+		a := addrs[i]
+		i++
+		return a, true
+	}
+}
+
+// BatchBlocks is the number of 64-byte blocks in one PE batch: the 1 KB
+// per-chip buffer of Fig 9 spans 16 blocks across an 8-chip rank... per
+// chip 1KB = 128 x 8B bursts; at rank level a 1KB batch per chip equals
+// 16 cache blocks of the interleaved vector share handled per pipeline
+// turn.
+const BatchBlocks = 16
+
+// Op is one primitive NDA operation executing on a single rank's PEs.
+// The read iterators are drained round-robin in batches of BatchBlocks;
+// after each full batch of reads, BatchBlocks result blocks enter the
+// write buffer (if the op writes).
+type Op struct {
+	Kind   OpKind
+	Reads  []Iter
+	Writes Iter
+	// Guard, when non-nil, is the NDA-side bounds check (Section II,
+	// Address Translation): the host performs translation, the NDA only
+	// verifies each access stays inside the operand regions named in
+	// the launch packet. Violations abort the op via panic — hardware
+	// would raise a protection fault.
+	Guard func(a dram.Addr) bool
+	// Done fires at the DRAM cycle when the op fully completes
+	// (including write-buffer drain of its results).
+	Done func(cycle int64)
+
+	// progress
+	operand   int // which read iterator is active
+	inOperand int // blocks consumed from the active iterator this batch
+	exhausted bool
+	pendingWr int // writes of this op still in the write buffer
+	pushed    dram.Addr
+	hasPushed bool
+}
+
+// NewOp builds an operation; reads must have one iterator per
+// Kind.ReadOperands(), and writes must be non-nil iff the kind writes.
+func NewOp(kind OpKind, reads []Iter, writes Iter, done func(int64)) *Op {
+	if len(reads) != kind.ReadOperands() {
+		panic(fmt.Sprintf("nda: %v expects %d read operands, got %d", kind, kind.ReadOperands(), len(reads)))
+	}
+	if kind.WritesResult() != (writes != nil) {
+		panic(fmt.Sprintf("nda: %v writes=%v but writes iterator nil=%v", kind, kind.WritesResult(), writes == nil))
+	}
+	return &Op{Kind: kind, Reads: reads, Writes: writes, Done: done}
+}
+
+// pushback returns an address obtained from nextRead that could not be
+// issued; the next nextRead call re-delivers it.
+func (o *Op) pushback(a dram.Addr) {
+	o.pushed = a
+	o.hasPushed = true
+}
+
+// nextRead yields the next read access, advancing the round-robin batch
+// schedule. ok=false means all reads are exhausted.
+func (o *Op) nextRead() (dram.Addr, bool) {
+	if o.hasPushed {
+		o.hasPushed = false
+		return o.pushed, true
+	}
+	if o.exhausted {
+		return dram.Addr{}, false
+	}
+	for tries := 0; tries < len(o.Reads); tries++ {
+		a, ok := o.Reads[o.operand]()
+		if ok {
+			o.inOperand++
+			if o.inOperand >= BatchBlocks {
+				o.inOperand = 0
+				o.operand = (o.operand + 1) % len(o.Reads)
+			}
+			return a, true
+		}
+		// Iterator dry: move to the next operand stream.
+		o.inOperand = 0
+		o.operand = (o.operand + 1) % len(o.Reads)
+	}
+	o.exhausted = true
+	return dram.Addr{}, false
+}
+
+// batchReads returns reads per full batch across all operands.
+func (o *Op) batchReads() int { return len(o.Reads) * BatchBlocks }

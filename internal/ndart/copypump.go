@@ -1,0 +1,71 @@
+package ndart
+
+import "chopim/internal/dram"
+
+// copyJob streams one vector into another through the host memory
+// controllers with cache bypass: block reads from src, block writes to
+// dst on read completion. This is the host-mediated data movement that
+// Chopim's colored layout avoids for aligned operands, and the exchange
+// path used by collaborative applications (Section IV).
+type copyJob struct {
+	src, dst *Vector
+	next     int // next block index to read
+	inflight int
+	done     func()
+	finished bool
+}
+
+// copyPump drives copy jobs, keeping a bounded number of blocks in
+// flight per cycle so copies contend with (rather than teleport past)
+// regular traffic.
+type copyPump struct {
+	jobs []*copyJob
+}
+
+// maxInflight bounds outstanding copy reads (a host DMA engine's MLP).
+const maxInflight = 16
+
+func (p *copyPump) add(j *copyJob) { p.jobs = append(p.jobs, j) }
+
+// Busy reports whether copies are still in flight.
+func (p *copyPump) Busy() bool { return len(p.jobs) > 0 }
+
+func (p *copyPump) tick(rt *Runtime, now int64) {
+	if len(p.jobs) == 0 {
+		return
+	}
+	j := p.jobs[0]
+	total := int((j.src.bytes + dram.BlockBytes - 1) / dram.BlockBytes)
+	for j.next < total && j.inflight < maxInflight {
+		srcAddr := j.src.base + uint64(j.next)*dram.BlockBytes
+		dstAddr := j.dst.base + uint64(j.next)*dram.BlockBytes
+		ch := rt.mapper.Decode(srcAddr).Channel
+		ok := rt.mcs[ch].EnqueueRead(srcAddr, now, func(int64) {
+			j.inflight--
+			dch := rt.mapper.Decode(dstAddr).Channel
+			rt.mcs[dch].EnqueueWrite(dstAddr, rt.now())
+		})
+		if !ok {
+			break
+		}
+		j.inflight++
+		j.next++
+	}
+	if j.next >= total && j.inflight == 0 && !j.finished {
+		j.finished = true
+		p.jobs = p.jobs[1:]
+		if j.done != nil {
+			j.done()
+		}
+	}
+}
+
+// HostCopy schedules a cache-bypassing host copy of src into dst (the
+// data-exchange step of delayed-update SVRG uses this with a fence).
+// done fires when all blocks have been read and their writes enqueued.
+func (rt *Runtime) HostCopy(dst, src *Vector, done func()) {
+	rt.copier.add(&copyJob{src: src, dst: dst, done: done})
+}
+
+// CopierBusy reports whether host-mediated copies are outstanding.
+func (rt *Runtime) CopierBusy() bool { return rt.copier.Busy() }

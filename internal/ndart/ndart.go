@@ -1,0 +1,273 @@
+// Package ndart is the Chopim runtime and programmer API (Section V). It
+// manages colored shared-region allocations so NDA operands stay
+// rank-aligned, splits API calls into per-rank primitive NDA operations
+// with a configurable vector granularity, models the control-register
+// launch packets that occupy the host channel, supports blocking and
+// asynchronous (macro) launches, and inserts host-mediated copies when
+// operands' colors do not match.
+package ndart
+
+import (
+	"fmt"
+
+	"chopim/internal/addrmap"
+	"chopim/internal/dram"
+	"chopim/internal/mc"
+	"chopim/internal/nda"
+	"chopim/internal/osmem"
+)
+
+// Placement selects how a tensor is laid out.
+type Placement int
+
+// Placements mirror the paper's nda::SHARED / nda::PRIVATE.
+const (
+	// Shared stripes the tensor across all NDAs under one color; the
+	// host sees it as ordinary memory.
+	Shared Placement = iota
+	// Private replicates capacity so each NDA holds a full-length local
+	// copy (the paper's a_pvt accumulators).
+	Private
+)
+
+// Handle tracks completion of one or more launched operations.
+type Handle struct {
+	pending  int
+	doneAt   int64
+	children []*Handle
+}
+
+// Done reports whether every operation under the handle completed.
+func (h *Handle) Done() bool {
+	if h.pending > 0 {
+		return false
+	}
+	for _, c := range h.children {
+		if !c.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// Join combines handles into one that completes when all do.
+func Join(hs ...*Handle) *Handle {
+	return &Handle{children: hs}
+}
+
+// DoneAt returns the DRAM cycle of the final completion (valid once Done).
+func (h *Handle) DoneAt() int64 { return h.doneAt }
+
+func (h *Handle) complete(cycle int64) {
+	h.pending--
+	if cycle > h.doneAt {
+		h.doneAt = cycle
+	}
+}
+
+// Runtime is the Chopim runtime instance.
+type Runtime struct {
+	os     *osmem.OS
+	mapper addrmap.Mapper
+	geom   dram.Geometry
+	eng    *nda.Engine
+	mcs    []*mc.Controller
+	now    func() int64
+
+	// MaxBlocksPerInstr caps the cache blocks one NDA instruction may
+	// touch per operand (the paper's vector width N; Fig 10 sweeps it).
+	// Zero means unlimited (one instruction per rank per API call).
+	MaxBlocksPerInstr int
+
+	// ModelLaunches models each NDA instruction launch as a control
+	// write through the host channel. Disable only for idealized runs.
+	ModelLaunches bool
+
+	// GuardOps installs the NDA-side bounds checks (protection) on
+	// every launched instruction. Off by default: the checks are an
+	// assertion harness with per-op setup cost.
+	GuardOps bool
+
+	color    osmem.Color
+	colorSet bool
+
+	copier   copyPump
+	Launches int64
+	Copies   int64
+}
+
+// New builds a runtime over the OS, NDA engine, and host controllers.
+func New(os *osmem.OS, eng *nda.Engine, mcs []*mc.Controller, now func() int64) *Runtime {
+	return &Runtime{
+		os: os, mapper: os.Mapper(), geom: os.Mapper().Geometry(),
+		eng: eng, mcs: mcs, now: now, ModelLaunches: true,
+	}
+}
+
+// Tick advances runtime background activity (host-mediated copies).
+// Call once per DRAM cycle.
+func (rt *Runtime) Tick(now int64) { rt.copier.tick(rt, now) }
+
+// NDACount returns the number of rank NDAs in the system.
+func (rt *Runtime) NDACount() int { return rt.geom.Channels * rt.geom.Ranks }
+
+// Vector is a float32 vector visible to both host and NDAs.
+type Vector struct {
+	rt        *Runtime
+	base      uint64
+	n         int // elements
+	bytes     uint64
+	placement Placement
+	color     osmem.Color
+
+	// rankBlocks[ch][rank] lists the vector-relative block indices
+	// owned by that rank, in address order.
+	rankBlocks [][][]int32
+}
+
+// Matrix is a row-major float32 matrix; it shares Vector's layout
+// machinery through an embedded vector covering rows*cols elements.
+type Matrix struct {
+	Vector
+	Rows, Cols int
+}
+
+// NewVector allocates an n-element vector.
+func (rt *Runtime) NewVector(n int, p Placement) (*Vector, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ndart: vector length %d", n)
+	}
+	bytes := uint64(n) * 4
+	if p == Private {
+		bytes *= uint64(rt.NDACount())
+	}
+	base, color, err := rt.allocColored(bytes)
+	if err != nil {
+		return nil, err
+	}
+	v := &Vector{rt: rt, base: base, n: n, bytes: bytes, placement: p, color: color}
+	v.indexBlocks()
+	return v, nil
+}
+
+// NewMatrix allocates a rows x cols row-major matrix.
+func (rt *Runtime) NewMatrix(rows, cols int, p Placement) (*Matrix, error) {
+	v, err := rt.NewVector(rows*cols, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{Vector: *v, Rows: rows, Cols: cols}, nil
+}
+
+// allocColored obtains shared memory under the runtime's operand color,
+// adopting the first allocation's color (Section III-A: the runtime
+// specifies the same color for all operands).
+func (rt *Runtime) allocColored(bytes uint64) (uint64, osmem.Color, error) {
+	if !rt.colorSet {
+		c, err := rt.os.PickColor(bytes)
+		if err != nil {
+			return 0, 0, err
+		}
+		rt.color = c
+		rt.colorSet = true
+	}
+	base, err := rt.os.AllocShared(bytes, rt.color)
+	if err != nil {
+		return 0, 0, err
+	}
+	return base, rt.color, nil
+}
+
+// NewVectorUncolored allocates without color coordination (the naive
+// layout of Fig 3, used by the layout ablation): operands may land
+// misaligned and require copies before NDA execution.
+func (rt *Runtime) NewVectorUncolored(n int) (*Vector, error) {
+	bytes := uint64(n) * 4
+	base, err := rt.os.AllocSharedAny(bytes)
+	if err != nil {
+		return nil, err
+	}
+	v := &Vector{rt: rt, base: base, n: n, bytes: bytes, color: rt.os.ColorOf(base)}
+	v.indexBlocks()
+	return v, nil
+}
+
+// Len returns the element count.
+func (v *Vector) Len() int { return v.n }
+
+// Base returns the physical base address.
+func (v *Vector) Base() uint64 { return v.base }
+
+// Color returns the vector's alignment color.
+func (v *Vector) Color() osmem.Color { return v.color }
+
+// indexBlocks precomputes each rank's share of the vector (block indices
+// in processing order). This is the software view of the data layout of
+// Section III-A: with color-aligned operands every rank's share covers
+// the same element positions across operands.
+func (v *Vector) indexBlocks() {
+	g := v.rt.geom
+	v.rankBlocks = make([][][]int32, g.Channels)
+	for ch := range v.rankBlocks {
+		v.rankBlocks[ch] = make([][]int32, g.Ranks)
+	}
+	nBlocks := int32((v.bytes + dram.BlockBytes - 1) / dram.BlockBytes)
+	for b := int32(0); b < nBlocks; b++ {
+		a := v.rt.mapper.Decode(v.base + uint64(b)*dram.BlockBytes)
+		v.rankBlocks[a.Channel][a.Rank] = append(v.rankBlocks[a.Channel][a.Rank], b)
+	}
+}
+
+// shareBlocks returns rank (ch,r)'s share, as vector block indices.
+func (v *Vector) shareBlocks(ch, r int) []int32 { return v.rankBlocks[ch][r] }
+
+// iterFor yields DRAM addresses for a slice [from, from+count) of the
+// rank's share.
+func (v *Vector) iterFor(ch, r int, from, count int) nda.Iter {
+	blocks := v.rankBlocks[ch][r]
+	end := from + count
+	if end > len(blocks) {
+		end = len(blocks)
+	}
+	i := from
+	return func() (dram.Addr, bool) {
+		if i >= end {
+			return dram.Addr{}, false
+		}
+		a := v.rt.mapper.Decode(v.base + uint64(blocks[i])*dram.BlockBytes)
+		i++
+		return a, true
+	}
+}
+
+// RowView returns a Vector aliasing row i of the matrix (no allocation
+// of new memory; block indices are computed for the row's span). Rows
+// shorter than a cache block share blocks with neighbours; the view
+// covers every block the row touches.
+func (m *Matrix) RowView(i int) *Vector {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("ndart: row %d out of range [0,%d)", i, m.Rows))
+	}
+	rowBytes := uint64(m.Cols) * 4
+	start := m.base + uint64(i)*rowBytes
+	firstBlock := start / dram.BlockBytes * dram.BlockBytes
+	endBlock := (start + rowBytes + dram.BlockBytes - 1) / dram.BlockBytes * dram.BlockBytes
+	// The view inherits the parent's color: it belongs to the parent's
+	// colored allocation, so alignment with sibling operands holds.
+	v := &Vector{
+		rt: m.rt, base: firstBlock, n: m.Cols,
+		bytes: endBlock - firstBlock, placement: m.placement, color: m.color,
+	}
+	v.indexBlocks()
+	return v
+}
+
+// controlAddr returns a DRAM address on the rank for launch packets (the
+// control-register region lives on each module).
+func (v *Vector) controlAddr(ch, r int) (dram.Addr, bool) {
+	blocks := v.rankBlocks[ch][r]
+	if len(blocks) == 0 {
+		return dram.Addr{}, false
+	}
+	return v.rt.mapper.Decode(v.base + uint64(blocks[0])*dram.BlockBytes), true
+}

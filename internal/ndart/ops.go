@@ -1,0 +1,379 @@
+package ndart
+
+import (
+	"fmt"
+
+	"chopim/internal/dram"
+	"chopim/internal/nda"
+)
+
+// Spec describes one NDA API call before splitting into per-rank
+// primitive operations.
+type Spec struct {
+	Kind  nda.OpKind
+	Reads []*Vector
+	Write *Vector // nil for reductions
+}
+
+// validate checks operand counts, lengths, and bounds.
+func (s Spec) validate() error {
+	if len(s.Reads) != s.Kind.ReadOperands() {
+		return fmt.Errorf("ndart: %v expects %d read operands, got %d", s.Kind, s.Kind.ReadOperands(), len(s.Reads))
+	}
+	if s.Kind.WritesResult() != (s.Write != nil) {
+		return fmt.Errorf("ndart: %v result operand mismatch", s.Kind)
+	}
+	// GEMV's single streamed operand is the matrix; the small x vector
+	// is scratchpad-resident and not length-matched.
+	if s.Kind == nda.OpGEMV {
+		return nil
+	}
+	n := s.Reads[0].Len()
+	for _, v := range s.Reads[1:] {
+		if v.Len() != n {
+			return fmt.Errorf("ndart: operand length mismatch %d vs %d", v.Len(), n)
+		}
+	}
+	if s.Write != nil && s.Write.Len() != n && s.Write.placement != Private {
+		return fmt.Errorf("ndart: result length %d != operand length %d", s.Write.Len(), n)
+	}
+	return nil
+}
+
+// Blocking and asynchronous single-op API (Table I). Each returns a
+// Handle; the simulator's Await drives it to completion. Scalars (alpha,
+// beta...) do not affect traffic and are omitted.
+
+// Axpy computes y += a*x.
+func (rt *Runtime) Axpy(y, x *Vector) (*Handle, error) {
+	return rt.Launch(Spec{Kind: nda.OpAXPY, Reads: []*Vector{x, y}, Write: y})
+}
+
+// Axpby computes z = a*x + b*y.
+func (rt *Runtime) Axpby(z, x, y *Vector) (*Handle, error) {
+	return rt.Launch(Spec{Kind: nda.OpAXPBY, Reads: []*Vector{x, y}, Write: z})
+}
+
+// Axpbypcz computes w = a*x + b*y + c*z.
+func (rt *Runtime) Axpbypcz(w, x, y, z *Vector) (*Handle, error) {
+	return rt.Launch(Spec{Kind: nda.OpAXPBYPCZ, Reads: []*Vector{x, y, z}, Write: w})
+}
+
+// Copy computes y = x.
+func (rt *Runtime) Copy(y, x *Vector) (*Handle, error) {
+	return rt.Launch(Spec{Kind: nda.OpCOPY, Reads: []*Vector{x}, Write: y})
+}
+
+// Dot computes x . y into per-PE scratchpads (host reduces).
+func (rt *Runtime) Dot(x, y *Vector) (*Handle, error) {
+	return rt.Launch(Spec{Kind: nda.OpDOT, Reads: []*Vector{x, y}})
+}
+
+// Nrm2 computes sqrt(x . x) into per-PE scratchpads.
+func (rt *Runtime) Nrm2(x *Vector) (*Handle, error) {
+	return rt.Launch(Spec{Kind: nda.OpNRM2, Reads: []*Vector{x}})
+}
+
+// Scal computes x = a*x.
+func (rt *Runtime) Scal(x *Vector) (*Handle, error) {
+	return rt.Launch(Spec{Kind: nda.OpSCAL, Reads: []*Vector{x}, Write: x})
+}
+
+// Xmy computes z = x (elementwise*) y.
+func (rt *Runtime) Xmy(z, x, y *Vector) (*Handle, error) {
+	return rt.Launch(Spec{Kind: nda.OpXMY, Reads: []*Vector{x, y}, Write: z})
+}
+
+// Gemv computes y = A*x, streaming A from memory with x resident in the
+// PE scratchpads; y writeback is negligible and not modeled.
+func (rt *Runtime) Gemv(y *Vector, a *Matrix, x *Vector) (*Handle, error) {
+	return rt.Launch(Spec{Kind: nda.OpGEMV, Reads: []*Vector{&a.Vector}})
+}
+
+// Spec constructors for use with MacroFor.
+
+// AxpySpec builds the y += a*x spec.
+func AxpySpec(y, x *Vector) Spec {
+	return Spec{Kind: nda.OpAXPY, Reads: []*Vector{x, y}, Write: y}
+}
+
+// CopySpec builds the y = x spec.
+func CopySpec(y, x *Vector) Spec {
+	return Spec{Kind: nda.OpCOPY, Reads: []*Vector{x}, Write: y}
+}
+
+// DotSpec builds the x . y spec.
+func DotSpec(x, y *Vector) Spec {
+	return Spec{Kind: nda.OpDOT, Reads: []*Vector{x, y}}
+}
+
+// Nrm2Spec builds the ||x|| spec.
+func Nrm2Spec(x *Vector) Spec {
+	return Spec{Kind: nda.OpNRM2, Reads: []*Vector{x}}
+}
+
+// GemvSpec builds the y = A*x spec.
+func GemvSpec(a *Matrix) Spec {
+	return Spec{Kind: nda.OpGEMV, Reads: []*Vector{&a.Vector}}
+}
+
+// AxpbySpec builds the z = a*x + b*y spec.
+func AxpbySpec(z, x, y *Vector) Spec {
+	return Spec{Kind: nda.OpAXPBY, Reads: []*Vector{x, y}, Write: z}
+}
+
+// AxpbypczSpec builds the w = a*x + b*y + c*z spec.
+func AxpbypczSpec(w, x, y, z *Vector) Spec {
+	return Spec{Kind: nda.OpAXPBYPCZ, Reads: []*Vector{x, y, z}, Write: w}
+}
+
+// ScalSpec builds the x = a*x spec.
+func ScalSpec(x *Vector) Spec {
+	return Spec{Kind: nda.OpSCAL, Reads: []*Vector{x}, Write: x}
+}
+
+// XmySpec builds the z = x .* y spec.
+func XmySpec(z, x, y *Vector) Spec {
+	return Spec{Kind: nda.OpXMY, Reads: []*Vector{x, y}, Write: z}
+}
+
+// Launch splits one API call into per-rank primitive NDA instructions of
+// at most MaxBlocksPerInstr blocks per operand, modeling one
+// control-register launch packet per instruction (Section V). Operands
+// whose colors mismatch are first copied into aligned scratch space by
+// the host (the data-copy cost Chopim's layout avoids).
+func (rt *Runtime) Launch(spec Spec) (*Handle, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	h := &Handle{}
+	spec, copies := rt.alignOperands(spec)
+	if copies != nil {
+		// Defer the launch until host-mediated copies complete.
+		h.pending++ // hold the handle open
+		copies.onDone = func() {
+			rt.launchAligned(spec, h)
+			h.complete(rt.now())
+		}
+		return h, nil
+	}
+	rt.launchAligned(spec, h)
+	return h, nil
+}
+
+// MacroFor is the asynchronous macro operation of Section V
+// (parallel_for): count iterations built by build are launched with a
+// single control packet per rank, overlapping iterations and hiding
+// per-launch load imbalance.
+func (rt *Runtime) MacroFor(count int, build func(i int) Spec) (*Handle, error) {
+	h := &Handle{}
+	type rankWork struct{ factories []func() *nda.Op }
+	g := rt.geom
+	work := make([][]rankWork, g.Channels)
+	for ch := range work {
+		work[ch] = make([]rankWork, g.Ranks)
+	}
+	var ctrl dram.Addr
+	ctrlOK := false
+	for i := 0; i < count; i++ {
+		spec := build(i)
+		if err := spec.validate(); err != nil {
+			return nil, err
+		}
+		if c, ok := rt.alignedOrErr(spec); !ok {
+			return nil, c
+		}
+		for ch := 0; ch < g.Channels; ch++ {
+			for r := 0; r < g.Ranks; r++ {
+				for _, f := range rt.rankOpFactories(spec, ch, r, h) {
+					work[ch][r].factories = append(work[ch][r].factories, f)
+				}
+			}
+		}
+		if !ctrlOK {
+			if a, ok := spec.Reads[0].controlAddr(0, 0); ok {
+				ctrl, ctrlOK = a, true
+			}
+		}
+	}
+	for ch := 0; ch < g.Channels; ch++ {
+		for r := 0; r < g.Ranks; r++ {
+			fs := work[ch][r].factories
+			if len(fs) == 0 {
+				continue
+			}
+			rt.sendLaunch(ch, r, ctrl, func() {
+				for _, f := range fs {
+					rt.eng.Launch(ch, r, f)
+				}
+			})
+		}
+	}
+	return h, nil
+}
+
+// alignedOrErr returns an error if operands are misaligned (MacroFor does
+// not auto-copy).
+func (rt *Runtime) alignedOrErr(spec Spec) (error, bool) {
+	c0 := spec.Reads[0].color
+	for _, v := range spec.Reads[1:] {
+		if v.color != c0 {
+			return fmt.Errorf("ndart: macro op operands misaligned (colors %#x vs %#x)", c0, v.color), false
+		}
+	}
+	if spec.Write != nil && spec.Write.color != c0 {
+		return fmt.Errorf("ndart: macro op result misaligned"), false
+	}
+	return nil, true
+}
+
+// alignOperands checks operand colors; mismatched read operands are
+// copied into runtime-colored scratch vectors (counted in rt.Copies).
+// It returns the possibly-rewritten spec and a pending copy job set.
+func (rt *Runtime) alignOperands(spec Spec) (Spec, *copyGroup) {
+	c0 := spec.Reads[0].color
+	if spec.Write != nil && spec.Write.color != c0 {
+		// Result misalignment also forces a copy-out; model the
+		// dominant cost: allocate aligned scratch and write there.
+		if w, err := rt.NewVector(spec.Write.Len(), spec.Write.placement); err == nil {
+			spec.Write = w
+		}
+	}
+	var group *copyGroup
+	for i, v := range spec.Reads {
+		if v.color == c0 {
+			continue
+		}
+		scratch, err := rt.NewVector(v.Len(), v.placement)
+		if err != nil {
+			continue // out of aligned space: run misaligned (tests only)
+		}
+		if group == nil {
+			group = &copyGroup{}
+		}
+		rt.Copies++
+		group.pending++
+		spec.Reads[i] = scratch
+		rt.copier.add(&copyJob{
+			src: v, dst: scratch,
+			done: func() { group.finish() },
+		})
+	}
+	return spec, group
+}
+
+// launchAligned fans an aligned spec out to every rank.
+func (rt *Runtime) launchAligned(spec Spec, h *Handle) {
+	g := rt.geom
+	for ch := 0; ch < g.Channels; ch++ {
+		for r := 0; r < g.Ranks; r++ {
+			factories := rt.rankOpFactories(spec, ch, r, h)
+			ctrl, ok := spec.Reads[0].controlAddr(ch, r)
+			for _, f := range factories {
+				f := f
+				if !ok {
+					rt.eng.Launch(ch, r, f)
+					continue
+				}
+				rt.sendLaunch(ch, r, ctrl, func() { rt.eng.Launch(ch, r, f) })
+			}
+		}
+	}
+}
+
+// rankOpFactories splits the rank's share into MaxBlocksPerInstr chunks,
+// returning one op factory per NDA instruction. The factories increment
+// h.pending immediately.
+func (rt *Runtime) rankOpFactories(spec Spec, ch, r int, h *Handle) []func() *nda.Op {
+	share := len(spec.Reads[0].shareBlocks(ch, r))
+	if share == 0 {
+		return nil
+	}
+	chunk := rt.MaxBlocksPerInstr
+	if chunk <= 0 {
+		chunk = share
+	}
+	var out []func() *nda.Op
+	for from := 0; from < share; from += chunk {
+		from := from
+		n := chunk
+		if from+n > share {
+			n = share - from
+		}
+		h.pending++
+		out = append(out, func() *nda.Op {
+			var reads []nda.Iter
+			for _, v := range spec.Reads {
+				reads = append(reads, v.iterFor(ch, r, from, n))
+			}
+			var writes nda.Iter
+			if spec.Write != nil {
+				writes = spec.Write.iterFor(ch, r, from, n)
+			}
+			op := nda.NewOp(spec.Kind, reads, writes, func(cycle int64) { h.complete(cycle) })
+			if rt.GuardOps {
+				op.Guard = rt.buildGuard(spec, ch, r, from, n)
+			}
+			return op
+		})
+	}
+	return out
+}
+
+// buildGuard returns the NDA-side bounds check for one instruction: the
+// set of DRAM blocks the launch packet's operand descriptors cover. In
+// hardware this is a base/bound comparison per operand; the simulator
+// enumerates the chunk's blocks exactly.
+func (rt *Runtime) buildGuard(spec Spec, ch, r, from, n int) func(dram.Addr) bool {
+	allowed := make(map[uint64]bool, n*(len(spec.Reads)+1))
+	pack := func(a dram.Addr) uint64 {
+		g := rt.geom
+		k := uint64(a.BankGroup)
+		k = k*uint64(g.BanksPerGroup) + uint64(a.Bank)
+		k = k*uint64(g.Rows) + uint64(a.Row)
+		k = k*uint64(g.Cols) + uint64(a.Col)
+		return k
+	}
+	add := func(v *Vector) {
+		it := v.iterFor(ch, r, from, n)
+		for {
+			a, ok := it()
+			if !ok {
+				return
+			}
+			allowed[pack(a)] = true
+		}
+	}
+	for _, v := range spec.Reads {
+		add(v)
+	}
+	if spec.Write != nil {
+		add(spec.Write)
+	}
+	return func(a dram.Addr) bool { return allowed[pack(a)] }
+}
+
+// sendLaunch models the control-register write for one NDA instruction.
+func (rt *Runtime) sendLaunch(ch, r int, ctrl dram.Addr, onIssued func()) {
+	rt.Launches++
+	if !rt.ModelLaunches {
+		onIssued()
+		return
+	}
+	ctrl.Channel = ch
+	ctrl.Rank = r
+	rt.mcs[ch].EnqueueControl(ctrl, rt.now(), func(int64) { onIssued() })
+}
+
+// copyGroup joins several copy jobs before a deferred launch.
+type copyGroup struct {
+	pending int
+	onDone  func()
+}
+
+func (g *copyGroup) finish() {
+	g.pending--
+	if g.pending == 0 && g.onDone != nil {
+		g.onDone()
+	}
+}

@@ -1,0 +1,273 @@
+// Package sim composes the full simulated system of the paper's
+// methodology section: multi-core host with cache hierarchy, per-channel
+// FR-FCFS memory controllers, the DDR4 device model, the NDA engine, and
+// the Chopim runtime, all advanced on the 1.2 GHz DRAM bus clock with
+// cores credited 10/3 CPU cycles per DRAM cycle (4 GHz / 1.2 GHz).
+package sim
+
+import (
+	"fmt"
+
+	"chopim/internal/addrmap"
+	"chopim/internal/cache"
+	"chopim/internal/cpu"
+	"chopim/internal/dram"
+	"chopim/internal/mc"
+	"chopim/internal/nda"
+	"chopim/internal/ndart"
+	"chopim/internal/osmem"
+	"chopim/internal/workload"
+)
+
+// CPUCyclesPerDRAM expresses the 4 GHz : 1.2 GHz clock ratio as the
+// rational 10/3.
+const (
+	cpuCredit  = 10
+	cpuDivisor = 3
+)
+
+// DRAMHz is the DDR4-2400 bus clock.
+const DRAMHz = 1.2e9
+
+// Config assembles one system instance.
+type Config struct {
+	Geom   dram.Geometry
+	Timing dram.Timing
+
+	// Partitioned selects the proposed Fig 4b mapping with
+	// ReservedBanks banks per rank set aside for the shared region.
+	Partitioned   bool
+	ReservedBanks int
+
+	// MixIndex selects the Table II host application mix; -1 disables
+	// host traffic entirely.
+	MixIndex int
+
+	Core cpu.Config
+	MC   mc.Config
+	NDA  nda.Config
+
+	// MaxBlocksPerInstr is the NDA vector-instruction granularity
+	// (cache blocks per operand per instruction; 0 = unlimited).
+	MaxBlocksPerInstr int
+	// ModelLaunches models control-register launch packets.
+	ModelLaunches bool
+
+	Seed int64
+}
+
+// Default returns the paper's baseline configuration running the given
+// mix with bank partitioning enabled.
+func Default(mix int) Config {
+	return Config{
+		Geom:          dram.DefaultGeometry(),
+		Timing:        dram.DDR42400(),
+		Partitioned:   true,
+		ReservedBanks: 1,
+		MixIndex:      mix,
+		Core:          cpu.DefaultConfig(),
+		MC:            mc.DefaultConfig(),
+		NDA:           nda.DefaultConfig(),
+		ModelLaunches: true,
+		Seed:          1,
+	}
+}
+
+// System is one composed simulation instance.
+type System struct {
+	Cfg    Config
+	Mem    *dram.Mem
+	Mapper addrmap.Mapper
+	OS     *osmem.OS
+	MCs    []*mc.Controller
+	Router *mc.Router
+	Hier   *cache.Hierarchy
+	Cores  []*cpu.Core
+	NDA    *nda.Engine
+	RT     *ndart.Runtime
+
+	dramCycle int64
+	cpuCycle  int64
+	credit    int
+
+	measStartDRAM int64
+	measStartCPU  int64
+	retiredAtMeas []int64
+}
+
+// New builds and wires a system.
+func New(cfg Config) (*System, error) {
+	base := addrmap.NewSkylakeLike(cfg.Geom)
+	var mapper addrmap.Mapper = base
+	if cfg.Partitioned {
+		rb := cfg.ReservedBanks
+		if rb <= 0 {
+			rb = 1
+		}
+		mapper = addrmap.NewPartitioned(base, rb)
+	}
+	os, err := osmem.NewOS(mapper)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{Cfg: cfg, Mem: dram.New(cfg.Geom, cfg.Timing), Mapper: mapper, OS: os}
+
+	for ch := 0; ch < cfg.Geom.Channels; ch++ {
+		s.MCs = append(s.MCs, mc.NewController(cfg.MC, s.Mem, mapper, ch))
+	}
+	s.Router = mc.NewRouter(s.MCs, mapper, func() int64 { return s.dramCycle })
+
+	if cfg.MixIndex >= 0 {
+		profs, err := workload.MixProfiles(cfg.MixIndex)
+		if err != nil {
+			return nil, err
+		}
+		s.Hier = cache.NewHierarchy(cache.DefaultHierarchyConfig(len(profs)), s.Router, s)
+		for i, p := range profs {
+			fp := p.Footprint
+			region, err := os.AllocHost(fp)
+			if err != nil {
+				return nil, fmt.Errorf("sim: core %d footprint: %w", i, err)
+			}
+			gen := workload.NewGenerator(p, region, fp, cfg.Seed+int64(i)*7919)
+			s.Cores = append(s.Cores, cpu.NewCore(i, cfg.Core, gen, s.Hier))
+		}
+	}
+
+	s.NDA = nda.NewEngine(cfg.NDA, s.Mem, s.MCs)
+	s.RT = ndart.New(os, s.NDA, s.MCs, func() int64 { return s.dramCycle })
+	s.RT.MaxBlocksPerInstr = cfg.MaxBlocksPerInstr
+	s.RT.ModelLaunches = cfg.ModelLaunches
+	s.retiredAtMeas = make([]int64, len(s.Cores))
+	return s, nil
+}
+
+// CPUOfDRAM implements cache.Clock.
+func (s *System) CPUOfDRAM(d int64) int64 { return d * cpuCredit / cpuDivisor }
+
+// Now returns the current DRAM cycle.
+func (s *System) Now() int64 { return s.dramCycle }
+
+// CPUNow returns the current CPU cycle.
+func (s *System) CPUNow() int64 { return s.cpuCycle }
+
+// Tick advances the system one DRAM cycle.
+func (s *System) Tick() {
+	now := s.dramCycle
+	for _, c := range s.MCs {
+		c.Tick(now)
+	}
+	s.NDA.Tick(now)
+	s.RT.Tick(now)
+	s.credit += cpuCredit
+	for s.credit >= cpuDivisor {
+		s.credit -= cpuDivisor
+		for _, core := range s.Cores {
+			core.Tick(s.cpuCycle)
+		}
+		s.cpuCycle++
+	}
+	s.dramCycle++
+}
+
+// Run advances n DRAM cycles.
+func (s *System) Run(n int64) {
+	for i := int64(0); i < n; i++ {
+		s.Tick()
+	}
+}
+
+// Await runs until every handle completes, up to maxCycles additional
+// cycles. It returns an error on timeout.
+func (s *System) Await(maxCycles int64, hs ...*ndart.Handle) error {
+	deadline := s.dramCycle + maxCycles
+	for s.dramCycle < deadline {
+		done := true
+		for _, h := range hs {
+			if !h.Done() {
+				done = false
+				break
+			}
+		}
+		if done && !s.RT.CopierBusy() {
+			return nil
+		}
+		s.Tick()
+	}
+	return fmt.Errorf("sim: Await timed out after %d cycles", maxCycles)
+}
+
+// BeginMeasurement snapshots counters at the end of warm-up.
+func (s *System) BeginMeasurement() {
+	s.measStartDRAM = s.dramCycle
+	s.measStartCPU = s.cpuCycle
+	for i, c := range s.Cores {
+		s.retiredAtMeas[i] = c.Retired
+	}
+}
+
+// HostIPC returns the aggregate (summed) host IPC since measurement
+// began, matching the paper's per-figure host-performance metric.
+func (s *System) HostIPC() float64 {
+	cycles := s.cpuCycle - s.measStartCPU
+	if cycles <= 0 {
+		return 0
+	}
+	var retired int64
+	for i, c := range s.Cores {
+		retired += c.Retired - s.retiredAtMeas[i]
+	}
+	return float64(retired) / float64(cycles)
+}
+
+// MeasuredCycles returns DRAM cycles since measurement began.
+func (s *System) MeasuredCycles() int64 { return s.dramCycle - s.measStartDRAM }
+
+// Seconds converts DRAM cycles to seconds.
+func Seconds(cycles int64) float64 { return float64(cycles) / DRAMHz }
+
+// NDABandwidthGBs returns achieved NDA bandwidth in GB/s over the
+// measurement window. Callers should snapshot engine bytes at
+// BeginMeasurement time if NDAs ran during warm-up.
+func (s *System) NDABandwidthGBs(bytes int64) float64 {
+	sec := Seconds(s.MeasuredCycles())
+	if sec <= 0 {
+		return 0
+	}
+	return float64(bytes) / sec / 1e9
+}
+
+// NDAUtilization returns the fraction of host-idle rank bandwidth the
+// NDAs captured during the measurement window: NDA data-bus cycles
+// divided by cycles where ranks were not serving host traffic. busyHost
+// and ndaBlocks are deltas over the window.
+func (s *System) NDAUtilization(hostBusyCycles, ndaBlocks int64) float64 {
+	ranks := int64(s.Cfg.Geom.Channels * s.Cfg.Geom.Ranks)
+	idle := s.MeasuredCycles()*ranks - hostBusyCycles
+	if idle <= 0 {
+		return 0
+	}
+	used := ndaBlocks * int64(s.Cfg.Timing.BL)
+	u := float64(used) / float64(idle)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// HostBusyCycles sums rank busy cycles across all controllers.
+func (s *System) HostBusyCycles() int64 {
+	var total int64
+	for _, c := range s.MCs {
+		for i := range c.IdleHists {
+			total += c.IdleHists[i].BusyCycles()
+		}
+	}
+	return total
+}
+
+// NDABlocks returns total NDA column accesses (read+write blocks).
+func (s *System) NDABlocks() int64 {
+	st := s.NDA.TotalStats()
+	return st.BlocksRead + st.BlocksWritten
+}

@@ -1,0 +1,125 @@
+// Package stats collects simulation metrics: IPC, bandwidth utilization,
+// and the rank idle-gap histograms behind the paper's Figure 2.
+package stats
+
+import "fmt"
+
+// IdleBucket labels one bin of the idle-gap histogram (Fig 2).
+type IdleBucket int
+
+// Buckets follow the paper: cycles spent busy, then idle gaps binned by
+// gap length in DRAM cycles.
+const (
+	Busy IdleBucket = iota
+	Idle1To10
+	Idle10To100
+	Idle100To250
+	Idle250To500
+	Idle500To1000
+	Idle1000Plus
+	NumIdleBuckets
+)
+
+// String returns the figure legend label for the bucket.
+func (b IdleBucket) String() string {
+	switch b {
+	case Busy:
+		return "Busy"
+	case Idle1To10:
+		return "1-10"
+	case Idle10To100:
+		return "10-100"
+	case Idle100To250:
+		return "100-250"
+	case Idle250To500:
+		return "250-500"
+	case Idle500To1000:
+		return "500-1000"
+	case Idle1000Plus:
+		return "1000-"
+	}
+	return fmt.Sprintf("IdleBucket(%d)", int(b))
+}
+
+// bucketOf classifies a gap length in cycles.
+func bucketOf(gap int64) IdleBucket {
+	switch {
+	case gap <= 10:
+		return Idle1To10
+	case gap <= 100:
+		return Idle10To100
+	case gap <= 250:
+		return Idle100To250
+	case gap <= 500:
+		return Idle250To500
+	case gap <= 1000:
+		return Idle500To1000
+	default:
+		return Idle1000Plus
+	}
+}
+
+// IdleHist accumulates a per-rank busy/idle cycle breakdown. Busy
+// intervals must be reported in non-decreasing start order (as a memory
+// controller naturally does).
+type IdleHist struct {
+	cycles  [NumIdleBuckets]int64
+	start   int64 // observation window start
+	busyEnd int64 // end of the latest busy interval seen
+	started bool
+}
+
+// MarkBusy records that the rank was busy during [from, to).
+func (h *IdleHist) MarkBusy(from, to int64) {
+	if to <= from {
+		return
+	}
+	if !h.started {
+		h.started = true
+		h.start = 0
+		h.busyEnd = 0
+	}
+	if from > h.busyEnd {
+		gap := from - h.busyEnd
+		h.cycles[bucketOf(gap)] += gap
+	}
+	if from < h.busyEnd {
+		from = h.busyEnd
+	}
+	if to > from {
+		h.cycles[Busy] += to - from
+		h.busyEnd = to
+	}
+}
+
+// Finalize closes the observation window at cycle end, accounting the
+// trailing idle gap.
+func (h *IdleHist) Finalize(end int64) {
+	if end > h.busyEnd {
+		gap := end - h.busyEnd
+		h.cycles[bucketOf(gap)] += gap
+		h.busyEnd = end
+	}
+}
+
+// Fractions returns each bucket's share of total observed cycles.
+func (h *IdleHist) Fractions() [NumIdleBuckets]float64 {
+	var out [NumIdleBuckets]float64
+	var total int64
+	for _, c := range h.cycles {
+		total += c
+	}
+	if total == 0 {
+		return out
+	}
+	for i, c := range h.cycles {
+		out[i] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// Cycles returns the raw per-bucket cycle counts.
+func (h *IdleHist) Cycles() [NumIdleBuckets]int64 { return h.cycles }
+
+// BusyCycles returns cycles the rank spent servicing host traffic.
+func (h *IdleHist) BusyCycles() int64 { return h.cycles[Busy] }

@@ -1,0 +1,167 @@
+// Package workload provides synthetic host traffic generators standing in
+// for the SPEC CPU2006/2017 benchmarks of Table II, plus the paper's nine
+// application mixes.
+//
+// Each benchmark is reduced to the traffic features the experiments
+// depend on: memory intensity class (H/M/L MPKI), footprint relative to
+// the 8 MiB LLC, streaming versus random access balance, and store
+// fraction. See DESIGN.md for the substitution rationale.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chopim/internal/cpu"
+)
+
+// Class is the paper's memory-intensity label.
+type Class int
+
+// Memory-intensity classes from Table II.
+const (
+	Low Class = iota
+	Medium
+	High
+)
+
+// String returns the Table II letter.
+func (c Class) String() string {
+	switch c {
+	case Low:
+		return "L"
+	case Medium:
+		return "M"
+	case High:
+		return "H"
+	}
+	return "?"
+}
+
+// Profile characterizes one benchmark's synthetic traffic.
+type Profile struct {
+	Name       string
+	Class      Class
+	MemRatio   float64 // fraction of instructions that touch memory
+	WriteFrac  float64 // fraction of memory ops that are stores
+	Footprint  uint64  // working-set bytes
+	StreamFrac float64 // fraction of memory ops on sequential streams
+	Streams    int     // concurrent sequential streams
+}
+
+// Profiles maps every benchmark named in Table II to its traffic model.
+// Footprints are chosen relative to the 8 MiB LLC so that the H/M/L MPKI
+// classes emerge from cache filtering.
+var Profiles = map[string]Profile{
+	// High: footprints far beyond the 8 MiB LLC; random-heavy or
+	// wide-stream access defeats caching (MPKI ~30+).
+	"mcf_r":     {Name: "mcf_r", Class: High, MemRatio: 0.33, WriteFrac: 0.15, Footprint: 96 << 20, StreamFrac: 0.15, Streams: 2},
+	"lbm_r":     {Name: "lbm_r", Class: High, MemRatio: 0.30, WriteFrac: 0.40, Footprint: 128 << 20, StreamFrac: 0.92, Streams: 8},
+	"omnetpp_r": {Name: "omnetpp_r", Class: High, MemRatio: 0.30, WriteFrac: 0.25, Footprint: 48 << 20, StreamFrac: 0.25, Streams: 2},
+	"gemsFDTD":  {Name: "gemsFDTD", Class: High, MemRatio: 0.30, WriteFrac: 0.30, Footprint: 96 << 20, StreamFrac: 0.85, Streams: 6},
+	"soplex":    {Name: "soplex", Class: High, MemRatio: 0.28, WriteFrac: 0.20, Footprint: 48 << 20, StreamFrac: 0.60, Streams: 4},
+	// Medium: footprints near the LLC size; partially resident after
+	// warm-up (MPKI ~8-15).
+	"bwaves_r":     {Name: "bwaves_r", Class: Medium, MemRatio: 0.18, WriteFrac: 0.25, Footprint: 16 << 20, StreamFrac: 0.85, Streams: 6},
+	"milc":         {Name: "milc", Class: Medium, MemRatio: 0.18, WriteFrac: 0.30, Footprint: 14 << 20, StreamFrac: 0.75, Streams: 4},
+	"leslie3d":     {Name: "leslie3d", Class: Medium, MemRatio: 0.18, WriteFrac: 0.30, Footprint: 12 << 20, StreamFrac: 0.80, Streams: 6},
+	"astar":        {Name: "astar", Class: Medium, MemRatio: 0.18, WriteFrac: 0.20, Footprint: 10 << 20, StreamFrac: 0.30, Streams: 2},
+	"cactusBSSN_r": {Name: "cactusBSSN_r", Class: Medium, MemRatio: 0.17, WriteFrac: 0.30, Footprint: 12 << 20, StreamFrac: 0.80, Streams: 4},
+	// Low: L2-resident working sets (MPKI ~0 after warm-up), immune to
+	// LLC pollution from co-running streams.
+	"leela_r":     {Name: "leela_r", Class: Low, MemRatio: 0.15, WriteFrac: 0.20, Footprint: 192 << 10, StreamFrac: 0.30, Streams: 2},
+	"deepsjeng_r": {Name: "deepsjeng_r", Class: Low, MemRatio: 0.16, WriteFrac: 0.25, Footprint: 224 << 10, StreamFrac: 0.20, Streams: 2},
+	"xchange2_r":  {Name: "xchange2_r", Class: Low, MemRatio: 0.14, WriteFrac: 0.25, Footprint: 160 << 10, StreamFrac: 0.30, Streams: 2},
+}
+
+// Mixes reproduces Table II's nine application mixes. Mix 0 runs eight
+// cores (the under-provisioned bandwidth case); the rest run four.
+var Mixes = [][]string{
+	{"mcf_r", "lbm_r", "omnetpp_r", "gemsFDTD", "bwaves_r", "milc", "soplex", "leslie3d"},
+	{"mcf_r", "lbm_r", "omnetpp_r", "gemsFDTD"},
+	{"mcf_r", "lbm_r", "gemsFDTD", "soplex"},
+	{"lbm_r", "omnetpp_r", "gemsFDTD", "soplex"},
+	{"omnetpp_r", "gemsFDTD", "soplex", "milc"},
+	{"gemsFDTD", "soplex", "milc", "bwaves_r"},
+	{"soplex", "milc", "bwaves_r", "leslie3d"},
+	{"milc", "bwaves_r", "astar", "cactusBSSN_r"},
+	{"leslie3d", "leela_r", "deepsjeng_r", "xchange2_r"},
+}
+
+// MixName formats the canonical mix label.
+func MixName(i int) string { return fmt.Sprintf("mix%d", i) }
+
+// Generator produces the synthetic instruction stream for one benchmark
+// instance. It implements cpu.TraceSource deterministically from a seed.
+type Generator struct {
+	prof Profile
+	rng  *rand.Rand
+
+	base    uint64 // physical base of this instance's region
+	size    uint64
+	streams []uint64
+}
+
+// NewGenerator builds a trace source over the physical region
+// [base, base+size). The region should be at least the profile footprint;
+// smaller regions wrap (the footprint is clipped).
+func NewGenerator(prof Profile, base, size uint64, seed int64) *Generator {
+	if size == 0 {
+		panic("workload: zero-sized region")
+	}
+	g := &Generator{prof: prof, rng: rand.New(rand.NewSource(seed)), base: base, size: size}
+	if g.prof.Footprint > size {
+		g.prof.Footprint = size
+	}
+	n := prof.Streams
+	if n <= 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		g.streams = append(g.streams, g.rng.Uint64()%g.prof.Footprint)
+	}
+	return g
+}
+
+// depFrac is the fraction of instructions heading a dependency chain;
+// it bounds compute ILP at roughly 1/depFrac instructions per cycle,
+// giving per-core IPC in the 2-3 range for cache-resident work.
+const depFrac = 0.35
+
+// Next implements cpu.TraceSource.
+func (g *Generator) Next() cpu.Instr {
+	ser := g.rng.Float64() < depFrac
+	if g.rng.Float64() >= g.prof.MemRatio {
+		return cpu.Instr{Serialize: ser}
+	}
+	var off uint64
+	if g.rng.Float64() < g.prof.StreamFrac {
+		i := g.rng.Intn(len(g.streams))
+		g.streams[i] = (g.streams[i] + 8) % g.prof.Footprint
+		off = g.streams[i]
+	} else {
+		off = g.rng.Uint64() % g.prof.Footprint
+	}
+	return cpu.Instr{
+		Mem:       true,
+		Write:     g.rng.Float64() < g.prof.WriteFrac,
+		Serialize: ser,
+		Addr:      g.base + off&^7,
+	}
+}
+
+// MixProfiles resolves mix index i to its benchmark profiles.
+func MixProfiles(i int) ([]Profile, error) {
+	if i < 0 || i >= len(Mixes) {
+		return nil, fmt.Errorf("workload: mix index %d out of range [0,%d]", i, len(Mixes)-1)
+	}
+	var out []Profile
+	for _, name := range Mixes[i] {
+		p, ok := Profiles[name]
+		if !ok {
+			return nil, fmt.Errorf("workload: unknown benchmark %q in mix %d", name, i)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
