@@ -14,6 +14,44 @@ import (
 
 func benchOptions() experiments.Options { return experiments.QuickOptions() }
 
+var ndaOnlyOps = []string{"nrm2", "dot", "copy", "axpy"}
+
+// ndaOnlyOptions gives the speed benchmarks a budget long enough that
+// per-point setup is negligible against simulated cycles.
+func ndaOnlyOptions() experiments.Options {
+	return experiments.Options{WarmCycles: 50_000, MeasureCycles: 450_000, Quick: true}
+}
+
+// BenchmarkNDAOnlySweepReference is the baseline: the NDA-only sweep on
+// one worker with the reference cycle-by-cycle path (every component
+// ticked on every DRAM cycle).
+func BenchmarkNDAOnlySweepReference(b *testing.B) {
+	opt := ndaOnlyOptions()
+	opt.Parallel = 1
+	opt.CycleByCycle = true
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NDAOnlySweep(opt, ndaOnlyOps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNDAOnlySweepFastParallel runs the identical sweep with both
+// layers of the speed subsystem enabled: idle-cycle fast-forward inside
+// each simulation and the sharded runner across them (as `chopim
+// -parallel -1` does). Results are bit-identical to the reference;
+// wall-clock must be >=2x better (fast-forward alone delivers >2x on
+// one CPU for NDA-only points; sharding multiplies on real machines).
+func BenchmarkNDAOnlySweepFastParallel(b *testing.B) {
+	opt := ndaOnlyOptions()
+	opt.Parallel = -1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.NDAOnlySweep(opt, ndaOnlyOps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFig02IdleHistogram regenerates Figure 2: rank idle-time
 // breakdown across the Table II mixes.
 func BenchmarkFig02IdleHistogram(b *testing.B) {

@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	chopim [-quick] [-warm N] [-measure N] <experiment>
+//	chopim [-quick] [-warm N] [-measure N] [-parallel N] <experiment>
 //
 // Experiments: fig2 fig10 fig11 fig12 fig13 fig14 fig15a fig15b power
 // config all
+//
+// -parallel N shards each figure's independent simulation points across
+// N workers (-1 = all CPUs). Tables are identical for every N.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"chopim/internal/dram"
 	"chopim/internal/experiments"
@@ -25,6 +29,7 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced simulation budget")
 	warm := flag.Int64("warm", 0, "warm-up cycles (0 = default)")
 	measure := flag.Int64("measure", 0, "measurement cycles (0 = default)")
+	parallel := flag.Int("parallel", -1, "workers for independent simulation points (-1 = all CPUs, 1 = serial)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: chopim [flags] <fig2|fig10|fig11|fig12|fig13|fig14|fig15a|fig15b|power|config|all>\n")
 		flag.PrintDefaults()
@@ -45,6 +50,7 @@ func main() {
 	if *measure > 0 {
 		opt.MeasureCycles = *measure
 	}
+	opt.Parallel = *parallel
 
 	cmds := map[string]func(experiments.Options) error{
 		"fig2":   runFig2,
@@ -68,6 +74,9 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		st := experiments.ReadRunnerStats()
+		fmt.Printf("\nrunner: %d points (%d failed), %s simulation time across <=%d workers\n",
+			st.Jobs, st.Errors, st.BusyTime.Round(time.Millisecond), st.MaxShards)
 		return
 	}
 	run, ok := cmds[name]

@@ -30,8 +30,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		for i := 0; i < 100_000; i++ {
-			sys.Tick()
+		warmEnd := sys.Now() + 100_000
+		for sys.Now() < warmEnd {
+			sys.StepFast(warmEnd)
 			if h.Done() {
 				if h, err = app.Iterate(); err != nil {
 					log.Fatal(err)
@@ -41,8 +42,9 @@ func main() {
 		sys.BeginMeasurement()
 		busy0, blocks0 := sys.HostBusyCycles(), sys.NDABlocks()
 		launches0 := sys.RT.Launches
-		for i := 0; i < 200_000; i++ {
-			sys.Tick()
+		measEnd := sys.Now() + 200_000
+		for sys.Now() < measEnd {
+			sys.StepFast(measEnd)
 			if h.Done() {
 				if h, err = app.Iterate(); err != nil {
 					log.Fatal(err)

@@ -28,9 +28,11 @@ func run(partitioned bool) (hostIPC, ndaUtil float64) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Warm up, then measure with continuous relaunch.
-	for i := 0; i < 150_000; i++ {
-		sys.Tick()
+	// Warm up, then measure with continuous relaunch; StepFast jumps
+	// provably-idle cycles with identical counters to Tick.
+	warmEnd := sys.Now() + 150_000
+	for sys.Now() < warmEnd {
+		sys.StepFast(warmEnd)
 		if h.Done() {
 			if h, err = app.Iterate(); err != nil {
 				log.Fatal(err)
@@ -39,8 +41,9 @@ func run(partitioned bool) (hostIPC, ndaUtil float64) {
 	}
 	sys.BeginMeasurement()
 	busy0, blocks0 := sys.HostBusyCycles(), sys.NDABlocks()
-	for i := 0; i < 300_000; i++ {
-		sys.Tick()
+	measEnd := sys.Now() + 300_000
+	for sys.Now() < measEnd {
+		sys.StepFast(measEnd)
 		if h.Done() {
 			if h, err = app.Iterate(); err != nil {
 				log.Fatal(err)

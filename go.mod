@@ -1,0 +1,3 @@
+module chopim
+
+go 1.22

@@ -79,6 +79,13 @@ func (c *Core) IPC() float64 {
 // ResetStats clears retirement counters (end of warm-up).
 func (c *Core) ResetStats() { c.Retired, c.Cycles = 0, 0 }
 
+// NextEvent returns the earliest CPU cycle >= now at which the core can
+// change state. Trace-driven cores always have an instruction to retire
+// or issue, and even a structurally-stalled core re-probes the cache
+// hierarchy every cycle (updating replacement state), so a core is
+// never skippable: the next event is always the current cycle.
+func (c *Core) NextEvent(now int64) int64 { return now }
+
 // Tick advances the core by one CPU cycle.
 func (c *Core) Tick(now int64) {
 	c.Cycles++

@@ -226,6 +226,75 @@ func (m *Mem) channelColOK(ch *chanState, cmd Command, a Addr, now int64) bool {
 	return true
 }
 
+// Never is a sentinel cycle meaning "no upcoming event": components
+// return it from NextEvent/NextIssue when they cannot act without new
+// external stimulus.
+const Never = int64(^uint64(0) >> 1)
+
+// NextIssue returns the earliest cycle t >= now at which CanIssue(cmd,
+// a, t, internal) can become true, assuming no further commands issue to
+// the memory in the meantime. For internal (NDA) column accesses the
+// bound is exact; for external accesses it is a lower bound (channel-bus
+// constraints are not folded in). Commands that are structurally blocked
+// in the current bank state (ACT on an open bank, PRE or column on a
+// closed or row-mismatched one) conservatively return now: they need an
+// intervening command to become legal, which is itself an event.
+func (m *Mem) NextIssue(cmd Command, a Addr, now int64, internal bool) int64 {
+	m.checkAddr(a)
+	rk := m.rank(a)
+	bg := &rk.bgs[a.BankGroup]
+	b := &rk.banks[a.GlobalBank(m.Geom)]
+	t := now
+	maxi := func(v int64) {
+		if v > t {
+			t = v
+		}
+	}
+	maxi(rk.refreshUntil)
+
+	switch cmd {
+	case CmdACT:
+		if b.open {
+			return now
+		}
+		maxi(b.nextACT)
+		maxi(bg.nextACT)
+		maxi(rk.nextACT)
+		maxi(rk.fawReady(m.T))
+
+	case CmdPRE:
+		if !b.open {
+			return now
+		}
+		maxi(b.nextPRE)
+
+	case CmdRD:
+		if !b.open || b.row != a.Row {
+			return now
+		}
+		maxi(b.nextRD)
+		maxi(bg.nextRD)
+		maxi(rk.nextRD)
+
+	case CmdWR:
+		if !b.open || b.row != a.Row {
+			return now
+		}
+		maxi(b.nextWR)
+		maxi(bg.nextWR)
+		maxi(rk.nextWR)
+
+	case CmdREF:
+		for i := range rk.banks {
+			if rk.banks[i].open {
+				return now
+			}
+		}
+		maxi(rk.nextACT)
+	}
+	return t
+}
+
 // Issue applies cmd at cycle now, updating all affected timing horizons.
 // It panics if the command is illegal; callers must CanIssue first.
 func (m *Mem) Issue(cmd Command, a Addr, now int64, internal bool) {

@@ -23,12 +23,13 @@ type AblationRow struct {
 // eliminates.
 func AblationLayout(opt Options) ([]AblationRow, error) {
 	const elems = 256 * 1024 // 1 MiB operands
-	var rows []AblationRow
-	for _, aligned := range []bool{true, false} {
+	settings := []bool{true, false}
+	return sharded(opt, len(settings), func(i int) (AblationRow, error) {
+		aligned := settings[i]
 		cfg := sim.Default(1)
 		s, err := sim.New(cfg)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		mk := func() (*ndart.Vector, error) {
 			if aligned {
@@ -38,118 +39,116 @@ func AblationLayout(opt Options) ([]AblationRow, error) {
 		}
 		x, err := s.RT.NewVector(elems, ndart.Shared)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		y, err := mk()
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		it := func() (*ndart.Handle, error) { return s.RT.Dot(x, y) }
 		res, err := measureConcurrent(s, it, opt)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		name := "proposed (colored)"
 		if !aligned {
 			name = "naive (uncolored)"
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Study: "layout", Setting: name,
 			HostIPC: res.HostIPC, NDAUtil: res.NDAUtil,
 			Extra: fmt.Sprintf("host copies=%d", s.RT.Copies),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // AblationReservedBanks sweeps the bank-partition size: more reserved
 // banks give the NDAs row-buffer locality across banks at the cost of
 // host capacity/parallelism.
 func AblationReservedBanks(opt Options) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, rb := range []int{1, 2, 4} {
+	counts := []int{1, 2, 4}
+	return sharded(opt, len(counts), func(i int) (AblationRow, error) {
+		rb := counts[i]
 		cfg := sim.Default(1)
 		cfg.ReservedBanks = rb
 		s, err := sim.New(cfg)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		app, err := apps.NewMicroPlaced(s.RT, "dot", (512<<10)/4, ndart.Private)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		res, err := measureConcurrent(s, app.Iterate, opt)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Study: "reserved-banks", Setting: fmt.Sprintf("%d banks/rank", rb),
 			HostIPC: res.HostIPC, NDAUtil: res.NDAUtil,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // AblationWriteBuffer sweeps the PE write-buffer capacity, which sets
 // how long NDA writes can be deferred before a drain phase collides with
 // host reads.
 func AblationWriteBuffer(opt Options) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, cap := range []int{16, 64, 128, 256} {
+	caps := []int{16, 64, 128, 256}
+	return sharded(opt, len(caps), func(i int) (AblationRow, error) {
 		cfg := sim.Default(1)
-		cfg.NDA.WriteBufCap = cap
+		cfg.NDA.WriteBufCap = caps[i]
 		s, err := sim.New(cfg)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		app, err := apps.NewMicroPlaced(s.RT, "copy", (512<<10)/4, ndart.Private)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		res, err := measureConcurrent(s, app.Iterate, opt)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
-		rows = append(rows, AblationRow{
-			Study: "write-buffer", Setting: fmt.Sprintf("%d entries", cap),
+		return AblationRow{
+			Study: "write-buffer", Setting: fmt.Sprintf("%d entries", caps[i]),
 			HostIPC: res.HostIPC, NDAUtil: res.NDAUtil,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // AblationLaunchModel toggles launch-packet modeling at fine
 // granularity, quantifying how much of the fine-grain penalty is channel
 // occupancy by control writes versus scheduling effects.
 func AblationLaunchModel(opt Options) ([]AblationRow, error) {
-	var rows []AblationRow
-	for _, model := range []bool{true, false} {
+	settings := []bool{true, false}
+	return sharded(opt, len(settings), func(i int) (AblationRow, error) {
+		model := settings[i]
 		cfg := sim.Default(1)
 		cfg.MaxBlocksPerInstr = 16
 		cfg.ModelLaunches = model
 		s, err := sim.New(cfg)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		app, err := apps.NewMicroPlaced(s.RT, "nrm2", (512<<10)/4, ndart.Private)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		res, err := measureConcurrent(s, app.Iterate, opt)
 		if err != nil {
-			return nil, err
+			return AblationRow{}, err
 		}
 		setting := "launch packets modeled"
 		if !model {
 			setting = "free launches (idealized)"
 		}
-		rows = append(rows, AblationRow{
+		return AblationRow{
 			Study: "launch-model", Setting: setting,
 			HostIPC: res.HostIPC, NDAUtil: res.NDAUtil,
 			Extra: fmt.Sprintf("launches=%d", s.RT.Launches),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // Ablations runs every ablation study.

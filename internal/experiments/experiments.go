@@ -13,10 +13,18 @@ import (
 )
 
 // Options sets the simulation budget. Quick shrinks runs for tests.
+// Parallel fans each figure's independent simulation points across that
+// many workers (0/1 serial, negative = GOMAXPROCS); results are
+// identical for every worker count. CycleByCycle forces the reference
+// Tick path instead of fast-forward — counters are identical either
+// way (the sim package proves it), so it exists for cross-checking and
+// speedup benchmarks.
 type Options struct {
 	WarmCycles    int64
 	MeasureCycles int64
 	Quick         bool
+	Parallel      int
+	CycleByCycle  bool
 }
 
 // DefaultOptions returns the full-fidelity budget. Warm-up must be long
@@ -66,16 +74,29 @@ func measureConcurrent(s *sim.System, it launcher, opt Options) (Result, error) 
 	if err := relaunch(); err != nil {
 		return Result{}, err
 	}
-	for i := int64(0); i < opt.WarmCycles; i++ {
-		s.Tick()
+	// Drive the system with fast-forward: StepFast jumps provably-idle
+	// windows and produces counters bit-identical to Tick-ing every
+	// cycle; handles only complete on executed ticks, so relaunching
+	// after each step reproduces the cycle-exact relaunch schedule.
+	step := func(end int64) {
+		if opt.CycleByCycle {
+			s.Tick()
+		} else {
+			s.StepFast(end)
+		}
+	}
+	warmEnd := s.Now() + opt.WarmCycles
+	for s.Now() < warmEnd {
+		step(warmEnd)
 		if err := relaunch(); err != nil {
 			return Result{}, err
 		}
 	}
 	s.BeginMeasurement()
 	busy0, blocks0 := s.HostBusyCycles(), s.NDABlocks()
-	for i := int64(0); i < opt.MeasureCycles; i++ {
-		s.Tick()
+	measEnd := s.Now() + opt.MeasureCycles
+	for s.Now() < measEnd {
+		step(measEnd)
 		if err := relaunch(); err != nil {
 			return Result{}, err
 		}

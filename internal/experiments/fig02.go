@@ -18,14 +18,13 @@ type Fig2Row struct {
 // periods are shorter than 250 cycles, motivating fine-grain
 // interleaving.
 func Fig2(opt Options) ([]Fig2Row, error) {
-	var rows []Fig2Row
-	for mix := 0; mix < len(workload.Mixes); mix++ {
+	return sharded(opt, len(workload.Mixes), func(mix int) (Fig2Row, error) {
 		s, err := sim.New(sim.Default(mix))
 		if err != nil {
-			return nil, err
+			return Fig2Row{}, err
 		}
 		if _, err := measureConcurrent(s, nil, opt); err != nil {
-			return nil, err
+			return Fig2Row{}, err
 		}
 		var total [stats.NumIdleBuckets]int64
 		var sum int64
@@ -44,7 +43,6 @@ func Fig2(opt Options) ([]Fig2Row, error) {
 				row.Fractions[b] = float64(v) / float64(sum)
 			}
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }

@@ -27,33 +27,37 @@ func Fig10(opt Options) ([]Fig10Row, error) {
 		ns = []int{1, 64, 4096}
 		rankCounts = []int{2, 4}
 	}
-	var rows []Fig10Row
+	type point struct{ ranks, n int }
+	var points []point
 	for _, ranks := range rankCounts {
 		for _, n := range ns {
-			cfg := sim.Default(1)
-			cfg.Geom = geomWithRanks(ranks)
-			cfg.MaxBlocksPerInstr = n
-			s, err := sim.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			// Size the vector so each rank holds 4096 blocks: every N
-			// divides evenly and the largest N is one instruction.
-			perRank := 4096
-			if opt.Quick {
-				perRank = 1024
-			}
-			elems := perRank * dram.BlockBytes / 4
-			app, err := apps.NewMicroPlaced(s.RT, "nrm2", elems, ndart.Private)
-			if err != nil {
-				return nil, err
-			}
-			res, err := measureConcurrent(s, app.Iterate, opt)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig10Row{Ranks: ranks, BlocksPer: n, HostIPC: res.HostIPC, NDAUtil: res.NDAUtil})
+			points = append(points, point{ranks, n})
 		}
 	}
-	return rows, nil
+	return sharded(opt, len(points), func(i int) (Fig10Row, error) {
+		p := points[i]
+		cfg := sim.Default(1)
+		cfg.Geom = geomWithRanks(p.ranks)
+		cfg.MaxBlocksPerInstr = p.n
+		s, err := sim.New(cfg)
+		if err != nil {
+			return Fig10Row{}, err
+		}
+		// Size the vector so each rank holds 4096 blocks: every N
+		// divides evenly and the largest N is one instruction.
+		perRank := 4096
+		if opt.Quick {
+			perRank = 1024
+		}
+		elems := perRank * dram.BlockBytes / 4
+		app, err := apps.NewMicroPlaced(s.RT, "nrm2", elems, ndart.Private)
+		if err != nil {
+			return Fig10Row{}, err
+		}
+		res, err := measureConcurrent(s, app.Iterate, opt)
+		if err != nil {
+			return Fig10Row{}, err
+		}
+		return Fig10Row{Ranks: p.ranks, BlocksPer: p.n, HostIPC: res.HostIPC, NDAUtil: res.NDAUtil}, nil
+	})
 }

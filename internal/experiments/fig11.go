@@ -32,54 +32,61 @@ func Fig11(opt Options) ([]Fig11Row, error) {
 	return fig11Mixes(opt, mixes)
 }
 
-// fig11Mixes runs the Fig 11 comparison for selected mixes.
+// fig11Mixes runs the Fig 11 comparison for selected mixes: five
+// independent simulation points per mix (four shared/partitioned x
+// DOT/COPY combinations plus the idealized host-only run), sharded
+// across the runner and reassembled per mix.
 func fig11Mixes(opt Options, mixes []int) ([]Fig11Row, error) {
 	perRankBytes := 2 << 20
 	if opt.Quick {
 		perRankBytes = 256 << 10
 	}
-	var rows []Fig11Row
+	type point struct {
+		mix  int
+		part bool
+		op   string // "" = idealized host-only run
+	}
+	var points []point
 	for _, mix := range mixes {
-		row := Fig11Row{Mix: workload.MixName(mix)}
-		for _, part := range []bool{false, true} {
-			for _, op := range []string{"dot", "copy"} {
-				cfg := sim.Default(mix)
-				cfg.Partitioned = part
-				s, err := sim.New(cfg)
-				if err != nil {
-					return nil, err
-				}
-				app, err := apps.NewMicroPlaced(s.RT, op, perRankBytes/4, ndartPrivate)
-				if err != nil {
-					return nil, err
-				}
-				res, err := measureConcurrent(s, app.Iterate, opt)
-				if err != nil {
-					return nil, err
-				}
-				switch {
-				case !part && op == "dot":
-					row.SharedDOT = res
-				case !part && op == "copy":
-					row.SharedCOPY = res
-				case part && op == "dot":
-					row.PartDOT = res
-				default:
-					row.PartCOPY = res
-				}
+		points = append(points,
+			point{mix, false, "dot"}, point{mix, false, "copy"},
+			point{mix, true, "dot"}, point{mix, true, "copy"},
+			point{mix, false, ""})
+	}
+	results, err := sharded(opt, len(points), func(i int) (Result, error) {
+		p := points[i]
+		cfg := sim.Default(p.mix)
+		if p.op != "" {
+			cfg.Partitioned = p.part
+		}
+		s, err := sim.New(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		var it launcher
+		if p.op != "" {
+			app, err := apps.NewMicroPlaced(s.RT, p.op, perRankBytes/4, ndartPrivate)
+			if err != nil {
+				return Result{}, err
 			}
+			it = app.Iterate
 		}
-		// Idealized: host alone (NDA assumed to soak all idle BW).
-		s, err := sim.New(sim.Default(mix))
-		if err != nil {
-			return nil, err
-		}
-		res, err := measureConcurrent(s, nil, opt)
-		if err != nil {
-			return nil, err
-		}
-		row.IdealHostIPC = res.HostIPC
-		rows = append(rows, row)
+		return measureConcurrent(s, it, opt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig11Row
+	for i, mix := range mixes {
+		base := i * 5
+		rows = append(rows, Fig11Row{
+			Mix:          workload.MixName(mix),
+			SharedDOT:    results[base],
+			SharedCOPY:   results[base+1],
+			PartDOT:      results[base+2],
+			PartCOPY:     results[base+3],
+			IdealHostIPC: results[base+4].HostIPC,
+		})
 	}
 	return rows, nil
 }

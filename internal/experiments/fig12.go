@@ -42,26 +42,39 @@ func Fig12(opt Options) ([]Fig12Row, error) {
 		perRankBytes = 256 << 10
 		mixes = 2
 	}
+	type point struct {
+		mix int
+		p   policyCfg
+	}
+	var points []point
+	for mix := 0; mix < mixes; mix++ {
+		for _, p := range policies {
+			points = append(points, point{mix, p})
+		}
+	}
+	results, err := sharded(opt, len(points), func(i int) (Result, error) {
+		pt := points[i]
+		cfg := sim.Default(pt.mix)
+		cfg.NDA.Policy = pt.p.pol
+		cfg.NDA.StochasticProb = pt.p.prob
+		s, err := sim.New(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		app, err := apps.NewMicroPlaced(s.RT, "copy", perRankBytes/4, ndartPrivate)
+		if err != nil {
+			return Result{}, err
+		}
+		return measureConcurrent(s, app.Iterate, opt)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig12Row
 	for mix := 0; mix < mixes; mix++ {
 		row := Fig12Row{Mix: workload.MixName(mix)}
-		for _, p := range policies {
-			cfg := sim.Default(mix)
-			cfg.NDA.Policy = p.pol
-			cfg.NDA.StochasticProb = p.prob
-			s, err := sim.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			app, err := apps.NewMicroPlaced(s.RT, "copy", perRankBytes/4, ndartPrivate)
-			if err != nil {
-				return nil, err
-			}
-			res, err := measureConcurrent(s, app.Iterate, opt)
-			if err != nil {
-				return nil, err
-			}
-			row.Points = append(row.Points, PolicyPoint{Label: p.label, Res: res})
+		for j, p := range policies {
+			row.Points = append(row.Points, PolicyPoint{Label: p.label, Res: results[mix*len(policies)+j]})
 		}
 		rows = append(rows, row)
 	}

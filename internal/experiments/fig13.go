@@ -41,20 +41,29 @@ func Fig13(opt Options) ([]Fig13Row, error) {
 			async bool
 		}{sizes[0], sizes[1], sizes[3]}
 	}
-	var rows []Fig13Row
+	type point struct {
+		op    string
+		name  string
+		bytes int
+		async bool
+	}
+	var points []point
 	for _, op := range ops {
 		for _, sz := range sizes {
 			if sz.bytes == 8<<20 && opt.Quick {
 				continue
 			}
-			res, err := runFig13Point(op, sz.bytes, sz.async, opt)
-			if err != nil {
-				return nil, fmt.Errorf("fig13 %s/%s: %w", op, sz.name, err)
-			}
-			rows = append(rows, Fig13Row{Op: op, Size: sz.name, HostIPC: res.HostIPC, NDAUtil: res.NDAUtil})
+			points = append(points, point{op, sz.name, sz.bytes, sz.async})
 		}
 	}
-	return rows, nil
+	return sharded(opt, len(points), func(i int) (Fig13Row, error) {
+		p := points[i]
+		res, err := runFig13Point(p.op, p.bytes, p.async, opt)
+		if err != nil {
+			return Fig13Row{}, fmt.Errorf("fig13 %s/%s: %w", p.op, p.name, err)
+		}
+		return Fig13Row{Op: p.op, Size: p.name, HostIPC: res.HostIPC, NDAUtil: res.NDAUtil}, nil
+	})
 }
 
 func runFig13Point(op string, bytesPerRank int, async bool, opt Options) (Result, error) {

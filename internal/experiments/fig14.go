@@ -34,63 +34,69 @@ func Fig14(opt Options) ([]Fig14Row, error) {
 		workloads = []string{"dot", "copy"}
 		rankCounts = []int{2}
 	}
-	var rows []Fig14Row
+	type point struct {
+		ranks int
+		wl    string
+	}
+	var points []point
 	for _, ranks := range rankCounts {
 		for _, wl := range workloads {
-			row := Fig14Row{Ranks: ranks, Workload: wl}
-
-			// Chopim: full system, concurrent sharing.
-			cfg := sim.Default(1)
-			cfg.Geom = geomWithRanks(ranks)
-			s, err := sim.New(cfg)
-			if err != nil {
-				return nil, err
-			}
-			it, err := fig14Workload(s, wl, opt)
-			if err != nil {
-				return nil, fmt.Errorf("fig14 %s: %w", wl, err)
-			}
-			res, err := measureConcurrent(s, it, opt)
-			if err != nil {
-				return nil, err
-			}
-			row.ChopimHostIPC = res.HostIPC
-			row.ChopimNDABW = res.NDABWGBs
-
-			// Rank partitioning: host on half the ranks...
-			hcfg := sim.Default(1)
-			hcfg.Geom = geomWithRanks(ranks / 2)
-			hs, err := sim.New(hcfg)
-			if err != nil {
-				return nil, err
-			}
-			hres, err := measureConcurrent(hs, nil, opt)
-			if err != nil {
-				return nil, err
-			}
-			row.RPHostIPC = hres.HostIPC
-
-			// ...and NDAs on the other half, alone.
-			ncfg := sim.Default(-1)
-			ncfg.Geom = geomWithRanks(ranks / 2)
-			nsys, err := sim.New(ncfg)
-			if err != nil {
-				return nil, err
-			}
-			nit, err := fig14Workload(nsys, wl, opt)
-			if err != nil {
-				return nil, err
-			}
-			nres, err := measureConcurrent(nsys, nit, opt)
-			if err != nil {
-				return nil, err
-			}
-			row.RPNDABW = nres.NDABWGBs
-
-			rows = append(rows, row)
+			points = append(points, point{ranks, wl})
 		}
 	}
-	return rows, nil
+	return sharded(opt, len(points), func(i int) (Fig14Row, error) {
+		p := points[i]
+		row := Fig14Row{Ranks: p.ranks, Workload: p.wl}
+
+		// Chopim: full system, concurrent sharing.
+		cfg := sim.Default(1)
+		cfg.Geom = geomWithRanks(p.ranks)
+		s, err := sim.New(cfg)
+		if err != nil {
+			return row, err
+		}
+		it, err := fig14Workload(s, p.wl, opt)
+		if err != nil {
+			return row, fmt.Errorf("fig14 %s: %w", p.wl, err)
+		}
+		res, err := measureConcurrent(s, it, opt)
+		if err != nil {
+			return row, err
+		}
+		row.ChopimHostIPC = res.HostIPC
+		row.ChopimNDABW = res.NDABWGBs
+
+		// Rank partitioning: host on half the ranks...
+		hcfg := sim.Default(1)
+		hcfg.Geom = geomWithRanks(p.ranks / 2)
+		hs, err := sim.New(hcfg)
+		if err != nil {
+			return row, err
+		}
+		hres, err := measureConcurrent(hs, nil, opt)
+		if err != nil {
+			return row, err
+		}
+		row.RPHostIPC = hres.HostIPC
+
+		// ...and NDAs on the other half, alone.
+		ncfg := sim.Default(-1)
+		ncfg.Geom = geomWithRanks(p.ranks / 2)
+		nsys, err := sim.New(ncfg)
+		if err != nil {
+			return row, err
+		}
+		nit, err := fig14Workload(nsys, p.wl, opt)
+		if err != nil {
+			return row, err
+		}
+		nres, err := measureConcurrent(nsys, nit, opt)
+		if err != nil {
+			return row, err
+		}
+		row.RPNDABW = nres.NDABWGBs
+		return row, nil
+	})
 }
 
 // fig14Workload builds the relaunchable NDA workload on a system.

@@ -118,8 +118,7 @@ func Fig15a(opt Options) ([]Fig15aCurve, float64, error) {
 	opt15 := svrg.Optimum(ds, scale.Lambda, 11)
 
 	lr := 0.05
-	var curves []Fig15aCurve
-	for _, m := range []struct {
+	modes := []struct {
 		mode  svrg.Mode
 		epoch int
 		label string
@@ -131,12 +130,17 @@ func Fig15a(opt Options) ([]Fig15aCurve, float64, error) {
 		{svrg.Accelerated, scale.N / 2, "ACC, Epoch (N/2)"},
 		{svrg.Accelerated, scale.N / 4, "ACC, Epoch (N/4)"},
 		{svrg.DelayedUpdate, 0, "DelayedUpdate"},
-	} {
+	}
+	curves, err := sharded(opt, len(modes), func(i int) (Fig15aCurve, error) {
+		m := modes[i]
 		pts := svrg.Run(ds, scale.Lambda, svrg.RunConfig{
 			Mode: m.mode, Epoch: m.epoch, LR: lr, Momentum: 0.9,
 			Outers: outers, Seed: 99, Timing: timing,
 		})
-		curves = append(curves, Fig15aCurve{Label: m.label, Points: pts})
+		return Fig15aCurve{Label: m.label, Points: pts}, nil
+	})
+	if err != nil {
+		return nil, 0, err
 	}
 	return curves, opt15, nil
 }
@@ -197,11 +201,11 @@ func Fig15b(opt Options) ([]Fig15bRow, error) {
 		return nil, fmt.Errorf("fig15b: host-only runs never reached adaptive eps=%g", eps)
 	}
 
-	var rows []Fig15bRow
-	for _, ndas := range ndaCounts {
+	return sharded(opt, len(ndaCounts), func(i int) (Fig15bRow, error) {
+		ndas := ndaCounts[i]
 		timing, err := CalibrateTiming(scale, ndas/2, opt)
 		if err != nil {
-			return nil, err
+			return Fig15bRow{}, err
 		}
 		accBest := math.Inf(1)
 		for _, e := range []int{scale.N, scale.N / 2, scale.N / 4} {
@@ -240,7 +244,6 @@ func Fig15b(opt Options) ([]Fig15bRow, error) {
 		if !math.IsInf(delayed, 1) {
 			row.SpeedupDelayed = hoBest / delayed
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }

@@ -18,31 +18,37 @@ type PowerRow struct {
 // kernel, and the concurrent total — which stays below the host-only
 // theoretical maximum because NDA accesses use low-energy internal paths.
 func Power(opt Options) ([]PowerRow, error) {
-	var rows []PowerRow
-
-	run := func(name string, mix int, withNDA bool) error {
-		cfg := sim.Default(mix)
+	scenarios := []struct {
+		name    string
+		mix     int
+		withNDA bool
+	}{
+		{"host-only mix0", 0, false},
+		{"host-only mix1", 1, false},
+		{"concurrent mix1 + avg-gradient", 1, true},
+	}
+	return sharded(opt, len(scenarios), func(i int) (PowerRow, error) {
+		sc := scenarios[i]
+		cfg := sim.Default(sc.mix)
 		s, err := sim.New(cfg)
 		if err != nil {
-			return err
+			return PowerRow{}, err
 		}
 		var it launcher
-		if withNDA {
+		if sc.withNDA {
 			n, d := 2048, 512
 			if opt.Quick {
 				n = 512
 			}
 			ag, err := apps.NewAverageGradient(s.RT, apps.AverageGradientConfig{N: n, D: d})
 			if err != nil {
-				return err
+				return PowerRow{}, err
 			}
 			it = ag.Run
 		}
-		res, err := measureConcurrent(s, it, opt)
-		if err != nil {
-			return err
+		if _, err := measureConcurrent(s, it, opt); err != nil {
+			return PowerRow{}, err
 		}
-		_ = res
 		// Energy counters accumulate from cycle zero, so use the full
 		// run duration for average power.
 		sec := sim.Seconds(s.Now())
@@ -53,18 +59,6 @@ func Power(opt Options) ([]PowerRow, error) {
 		c.FMAs = st.BlocksRead * 8
 		c.BufAccess = st.BlocksRead + st.BlocksWritten
 		b := energy.Compute(c)
-		rows = append(rows, PowerRow{Scenario: name, AvgPowerW: b.AvgPowerW, Breakdown: b})
-		return nil
-	}
-
-	if err := run("host-only mix0", 0, false); err != nil {
-		return nil, err
-	}
-	if err := run("host-only mix1", 1, false); err != nil {
-		return nil, err
-	}
-	if err := run("concurrent mix1 + avg-gradient", 1, true); err != nil {
-		return nil, err
-	}
-	return rows, nil
+		return PowerRow{Scenario: sc.name, AvgPowerW: b.AvgPowerW, Breakdown: b}, nil
+	})
 }

@@ -1,0 +1,150 @@
+// Sharded experiment runner: every figure of the evaluation is a set of
+// independent (mix x policy x configuration) simulation points, so the
+// harness fans them across a bounded worker pool. Each point builds its
+// own System whose RNGs are seeded from its configuration alone (no
+// state is shared between systems), results are returned in enumeration
+// order, and errors surface deterministically (the lowest-index failure
+// wins) — so any worker count, including 1, yields byte-identical
+// figure tables.
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chopim/internal/apps"
+	"chopim/internal/sim"
+)
+
+// Parallelism resolves an Options.Parallel value: 0 means serial, any
+// negative value means one worker per available CPU.
+func (o Options) parallelism() int {
+	p := o.Parallel
+	if p < 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// RunnerStats aggregates sharded-runner activity process-wide (cmd
+// surfaces it after a sweep).
+type RunnerStats struct {
+	Jobs      int64         // simulation points executed
+	Errors    int64         // points that returned an error
+	BusyTime  time.Duration // summed per-point wall time across workers
+	MaxShards int64         // largest worker pool used
+}
+
+var (
+	statJobs  atomic.Int64
+	statErrs  atomic.Int64
+	statBusy  atomic.Int64
+	statShard atomic.Int64
+)
+
+// ReadRunnerStats returns the aggregated runner statistics.
+func ReadRunnerStats() RunnerStats {
+	return RunnerStats{
+		Jobs:      statJobs.Load(),
+		Errors:    statErrs.Load(),
+		BusyTime:  time.Duration(statBusy.Load()),
+		MaxShards: statShard.Load(),
+	}
+}
+
+// sharded runs n independent jobs with the worker count opt implies and
+// returns the results in index order. The first error by index aborts
+// the figure (matching the serial harness, which stops at the first
+// failing point); later jobs already in flight are still drained.
+func sharded[T any](opt Options, n int, job func(i int) (T, error)) ([]T, error) {
+	workers := opt.parallelism()
+	if prev := statShard.Load(); int64(workers) > prev {
+		statShard.CompareAndSwap(prev, int64(workers))
+	}
+	results := make([]T, n)
+	if workers == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			var err error
+			if results[i], err = timedJob(i, job); err != nil {
+				return nil, err
+			}
+		}
+		return results, nil
+	}
+	errs := make([]error, n)
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		if failed.Load() {
+			<-sem
+			break // abort submissions; in-flight jobs drain below
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer func() { <-sem; wg.Done() }()
+			results[i], errs[i] = timedJob(i, job)
+			if errs[i] != nil {
+				failed.Store(true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+func timedJob[T any](i int, job func(int) (T, error)) (T, error) {
+	start := time.Now()
+	v, err := job(i)
+	statBusy.Add(int64(time.Since(start)))
+	statJobs.Add(1)
+	if err != nil {
+		statErrs.Add(1)
+	}
+	return v, err
+}
+
+// NDAOnlyRow is one point of the NDA-only throughput sweep.
+type NDAOnlyRow struct {
+	Op        string
+	NDABlocks int64
+	BWGBs     float64
+}
+
+// NDAOnlySweep measures NDA-only (no host cores) throughput for a set
+// of Table I operations through the sharded runner. It doubles as the
+// speed benchmark workload: NDA-only points are where fast-forward
+// skips the most cycles, and the points are fully independent, so the
+// sweep exercises both layers of the speed subsystem at once.
+func NDAOnlySweep(opt Options, ops []string) ([]NDAOnlyRow, error) {
+	perRank := 1 << 20
+	if opt.Quick {
+		perRank = 256 << 10
+	}
+	return sharded(opt, len(ops), func(i int) (NDAOnlyRow, error) {
+		s, err := sim.New(sim.Default(-1))
+		if err != nil {
+			return NDAOnlyRow{}, err
+		}
+		app, err := apps.NewMicroPlaced(s.RT, ops[i], perRank/4, ndartPrivate)
+		if err != nil {
+			return NDAOnlyRow{}, err
+		}
+		res, err := measureConcurrent(s, app.Iterate, opt)
+		if err != nil {
+			return NDAOnlyRow{}, err
+		}
+		return NDAOnlyRow{Op: ops[i], NDABlocks: res.NDABlocks, BWGBs: res.NDABWGBs}, nil
+	})
+}

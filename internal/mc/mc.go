@@ -168,6 +168,24 @@ func (c *Controller) HasAnyDemandFor(rank int) bool {
 	return false
 }
 
+// NextEvent returns the earliest DRAM cycle >= now at which the
+// controller can change state. With any request queued the controller
+// must run every cycle (FR-FCFS re-evaluates the whole queue against
+// per-bank timing each cycle); with all queues empty only the refresh
+// deadline, when refresh is enabled, can wake it.
+func (c *Controller) NextEvent(now int64) int64 {
+	if len(c.rq) > 0 || len(c.wq) > 0 || len(c.overflow) > 0 {
+		return now
+	}
+	if c.mem.T.REFI > 0 {
+		if c.nextRefresh > now {
+			return c.nextRefresh
+		}
+		return now
+	}
+	return dram.Never
+}
+
 // Tick advances the controller one DRAM cycle, issuing at most one
 // command on the channel.
 func (c *Controller) Tick(now int64) {

@@ -99,6 +99,12 @@ type RankNDA struct {
 
 	fsm     rankFSM
 	replica *rankFSM
+
+	// sleepUntil caches the FSM's next event: while the host leaves the
+	// rank and its channel queues alone, ticks before this cycle are
+	// provably no-ops and are skipped. Any host disturbance bypasses the
+	// cache (checked every tick); launches reset it.
+	sleepUntil int64
 }
 
 // Stats returns the rank's activity counters.
@@ -111,7 +117,17 @@ type Engine struct {
 	mem   *dram.Mem
 	hosts []*mc.Controller // per channel
 	Ranks [][]*RankNDA     // [channel][rank]
+
+	// fastForward arms the per-rank sleep cache (see RankNDA.tick).
+	// Off by default so Tick remains the dumbest possible reference
+	// implementation — the oracle fast-forward is verified against.
+	fastForward bool
 }
+
+// SetFastForward toggles the per-rank idle-skip cache. Observable
+// behavior is identical either way; only the work done on provably-idle
+// cycles changes.
+func (e *Engine) SetFastForward(on bool) { e.fastForward = on }
 
 // NewEngine builds the NDA engine over the memory and host controllers.
 func NewEngine(cfg Config, mem *dram.Mem, hosts []*mc.Controller) *Engine {
@@ -144,6 +160,7 @@ func NewEngine(cfg Config, mem *dram.Mem, hosts []*mc.Controller) *Engine {
 // channel occupancy.
 func (e *Engine) Launch(channel, rank int, makeOp func() *Op) {
 	n := e.Ranks[channel][rank]
+	n.sleepUntil = 0
 	n.fsm.ops = append(n.fsm.ops, makeOp())
 	if n.replica != nil {
 		op := makeOp()
@@ -170,9 +187,92 @@ func (e *Engine) Tick(now int64) {
 	for ch, row := range e.Ranks {
 		hostRank := e.hosts[ch].HostIssuedRank()
 		for _, n := range row {
-			n.tick(now, hostRank)
+			n.tick(now, hostRank, e.fastForward)
 		}
 	}
+}
+
+// NextEvent returns the earliest DRAM cycle >= now at which any rank
+// NDA can issue a command or mutate observable state, assuming the host
+// controllers stay idle through that cycle. The system only skips the
+// clock when every host queue is empty (a busy controller's own
+// NextEvent forces cycle-by-cycle execution), so the assumption holds
+// whenever the bound is consumed.
+func (e *Engine) NextEvent(now int64) int64 {
+	next := dram.Never
+	for _, row := range e.Ranks {
+		for _, n := range row {
+			if len(n.fsm.ops) == 0 && len(n.fsm.writeBuf) == 0 {
+				continue
+			}
+			// The tick-time cache is authoritative: it was computed
+			// after the rank's last executed step and is reset on any
+			// disturbance, so a value above now is a proven idle bound.
+			if n.sleepUntil <= now {
+				return now
+			}
+			if n.sleepUntil < next {
+				next = n.sleepUntil
+			}
+		}
+	}
+	return next
+}
+
+// nextEvent mirrors stepFSM's decision tree without mutating: every
+// branch either proves the FSM idle until a computable timing horizon or
+// returns now because the next tick performs work (an RNG draw, a
+// policy-stall counter bump, a state-flag flip, or op completion).
+func (n *RankNDA) nextEvent(now int64) int64 {
+	f := &n.fsm
+	if len(f.ops) == 0 && len(f.writeBuf) == 0 {
+		return dram.Never
+	}
+	wantWrite := false
+	switch {
+	case len(f.writeBuf) >= n.cfg.WriteBufCap:
+		wantWrite = true
+	case f.draining && len(f.writeBuf) > 0:
+		wantWrite = true
+	case len(f.writeBuf) > 0 && (len(f.ops) == 0 || f.ops[0].exhausted):
+		wantWrite = true
+	}
+	if wantWrite {
+		switch n.cfg.Policy {
+		case Stochastic:
+			return now // every attempt draws from the FSM's RNG
+		case NextRank:
+			if r, ok := n.host.OldestReadRank(); ok && r == n.Rank {
+				return now // StallsPolicy advances each inhibited cycle
+			}
+		}
+		return n.accessEvent(dram.CmdWR, f.writeBuf[0], now)
+	}
+	op := f.ops[0]
+	if op.Kind.WritesResult() && len(f.writeBuf) > n.cfg.WriteBufCap-BatchBlocks {
+		return now // backpressure flips draining on the next tick
+	}
+	a, ok := op.PeekRead()
+	if !ok {
+		return now // exhaustion discovery, tail flush, or completion
+	}
+	return n.accessEvent(dram.CmdRD, a, now)
+}
+
+// accessEvent bounds when the FSM's pending column access (or the row
+// command it needs first) can make progress.
+func (n *RankNDA) accessEvent(col dram.Command, a dram.Addr, now int64) int64 {
+	row, open := n.mem.OpenRow(a)
+	if open && row == a.Row {
+		return n.mem.NextIssue(col, a, now, true)
+	}
+	if n.host.HasDemandFor(n.Rank, a.GlobalBank(n.mem.Geom)) {
+		return now // StallsHost advances each blocked cycle
+	}
+	if open {
+		return n.mem.NextIssue(dram.CmdPRE, a, now, true)
+	}
+	return n.mem.NextIssue(dram.CmdACT, a, now, true)
 }
 
 // BytesMoved returns total NDA data movement in bytes.
@@ -207,10 +307,36 @@ func (e *Engine) TotalStats() RankStats {
 // The replica, when present, is stepped first with apply=false so both
 // FSMs evaluate against identical pre-issue DRAM state; their observable
 // state must then agree.
-func (n *RankNDA) tick(now int64, hostIssuedRank int) {
+//
+// While the host leaves the rank alone (no command to it this cycle, no
+// queued channel traffic), ticks before the cached next event are
+// provably no-ops — every blocked FSM attempt under those conditions
+// mutates nothing — and return immediately. Host activity bypasses the
+// cache because it can change FSM decisions (yield, next-rank inhibit,
+// row-command demand priority) and their stall counters.
+func (n *RankNDA) tick(now int64, hostIssuedRank int, fastForward bool) {
 	if len(n.fsm.ops) == 0 && len(n.fsm.writeBuf) == 0 {
 		return
 	}
+	if fastForward {
+		hostQuiet := hostIssuedRank != n.Rank && !n.hostQueued()
+		if hostQuiet && now < n.sleepUntil {
+			return
+		}
+		n.step(now, hostIssuedRank)
+		if hostQuiet {
+			n.sleepUntil = n.nextEvent(now + 1)
+		} else {
+			n.sleepUntil = 0
+		}
+		return
+	}
+	n.sleepUntil = 0
+	n.step(now, hostIssuedRank)
+}
+
+// step runs one FSM transition (and the replica's, when armed).
+func (n *RankNDA) step(now int64, hostIssuedRank int) {
 	if n.replica != nil {
 		n.stepFSM(n.replica, now, hostIssuedRank, false)
 	}
@@ -221,6 +347,12 @@ func (n *RankNDA) tick(now int64, hostIssuedRank int) {
 				n.Channel, n.Rank, now, got, want))
 		}
 	}
+}
+
+// hostQueued reports pending host traffic on this rank's channel.
+func (n *RankNDA) hostQueued() bool {
+	r, w := n.host.QueueOccupancy()
+	return r+w > 0
 }
 
 // stepFSM advances one FSM by one cycle. When apply is true, DRAM

@@ -121,9 +121,17 @@ type Op struct {
 	// (including write-buffer drain of its results).
 	Done func(cycle int64)
 
+	// TotalReads, when set, is the exact number of addresses the read
+	// iterators yield in total. It lets PeekRead prove an iterator is
+	// not yet dry without probing it, which keeps fast-forward peeks
+	// free of early-exhaustion side effects. It must never exceed the
+	// true yield count; zero disables peeking (conservative).
+	TotalReads int
+
 	// progress
 	operand   int // which read iterator is active
 	inOperand int // blocks consumed from the active iterator this batch
+	fetched   int // addresses pulled from the read iterators so far
 	exhausted bool
 	pendingWr int // writes of this op still in the write buffer
 	pushed    dram.Addr
@@ -149,6 +157,28 @@ func (o *Op) pushback(a dram.Addr) {
 	o.hasPushed = true
 }
 
+// PeekRead returns the next read address without logically consuming it
+// (the address is re-delivered by the following nextRead call, exactly
+// as after a blocked issue attempt). ok=false means the reads are
+// exhausted, or exhaustion cannot be ruled out without probing a
+// possibly-dry iterator — callers must then treat the current cycle as
+// the op's next event.
+func (o *Op) PeekRead() (dram.Addr, bool) {
+	if o.hasPushed {
+		return o.pushed, true
+	}
+	if o.exhausted || o.TotalReads <= 0 || o.fetched >= o.TotalReads {
+		return dram.Addr{}, false
+	}
+	a, ok := o.nextRead()
+	if !ok {
+		// TotalReads overcounted; stay conservative.
+		return dram.Addr{}, false
+	}
+	o.pushback(a)
+	return a, true
+}
+
 // nextRead yields the next read access, advancing the round-robin batch
 // schedule. ok=false means all reads are exhausted.
 func (o *Op) nextRead() (dram.Addr, bool) {
@@ -162,6 +192,7 @@ func (o *Op) nextRead() (dram.Addr, bool) {
 	for tries := 0; tries < len(o.Reads); tries++ {
 		a, ok := o.Reads[o.operand]()
 		if ok {
+			o.fetched++
 			o.inOperand++
 			if o.inOperand >= BatchBlocks {
 				o.inOperand = 0

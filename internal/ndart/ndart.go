@@ -108,6 +108,17 @@ func New(os *osmem.OS, eng *nda.Engine, mcs []*mc.Controller, now func() int64) 
 // Call once per DRAM cycle.
 func (rt *Runtime) Tick(now int64) { rt.copier.tick(rt, now) }
 
+// NextEvent returns the earliest DRAM cycle >= now at which the runtime
+// can change state. The copy pump retries enqueues every cycle while a
+// job is live; all other runtime activity is driven by API calls and
+// memory-controller callbacks, not the clock.
+func (rt *Runtime) NextEvent(now int64) int64 {
+	if rt.copier.Busy() {
+		return now
+	}
+	return dram.Never
+}
+
 // NDACount returns the number of rank NDAs in the system.
 func (rt *Runtime) NDACount() int { return rt.geom.Channels * rt.geom.Ranks }
 
@@ -123,6 +134,10 @@ type Vector struct {
 	// rankBlocks[ch][rank] lists the vector-relative block indices
 	// owned by that rank, in address order.
 	rankBlocks [][][]int32
+	// addrs caches the decoded DRAM address of every block (indexed by
+	// vector-relative block number); the XOR decode is hot enough that
+	// repeating it per access dominates NDA-side simulation time.
+	addrs []dram.Addr
 }
 
 // Matrix is a row-major float32 matrix; it shares Vector's layout
@@ -212,8 +227,10 @@ func (v *Vector) indexBlocks() {
 		v.rankBlocks[ch] = make([][]int32, g.Ranks)
 	}
 	nBlocks := int32((v.bytes + dram.BlockBytes - 1) / dram.BlockBytes)
+	v.addrs = make([]dram.Addr, nBlocks)
 	for b := int32(0); b < nBlocks; b++ {
 		a := v.rt.mapper.Decode(v.base + uint64(b)*dram.BlockBytes)
+		v.addrs[b] = a
 		v.rankBlocks[a.Channel][a.Rank] = append(v.rankBlocks[a.Channel][a.Rank], b)
 	}
 }
@@ -234,7 +251,7 @@ func (v *Vector) iterFor(ch, r int, from, count int) nda.Iter {
 		if i >= end {
 			return dram.Addr{}, false
 		}
-		a := v.rt.mapper.Decode(v.base + uint64(blocks[i])*dram.BlockBytes)
+		a := v.addrs[blocks[i]]
 		i++
 		return a, true
 	}

@@ -301,6 +301,19 @@ func (rt *Runtime) rankOpFactories(spec Spec, ch, r int, h *Handle) []func() *nd
 			n = share - from
 		}
 		h.pending++
+		// Exact read count across operands (operand shares can differ
+		// in the misaligned fallback), enabling side-effect-free
+		// PeekRead during fast-forward.
+		total := 0
+		for _, v := range spec.Reads {
+			c := len(v.shareBlocks(ch, r)) - from
+			if c > n {
+				c = n
+			}
+			if c > 0 {
+				total += c
+			}
+		}
 		out = append(out, func() *nda.Op {
 			var reads []nda.Iter
 			for _, v := range spec.Reads {
@@ -311,6 +324,7 @@ func (rt *Runtime) rankOpFactories(spec Spec, ch, r int, h *Handle) []func() *nd
 				writes = spec.Write.iterFor(ch, r, from, n)
 			}
 			op := nda.NewOp(spec.Kind, reads, writes, func(cycle int64) { h.complete(cycle) })
+			op.TotalReads = total
 			if rt.GuardOps {
 				op.Guard = rt.buildGuard(spec, ch, r, from, n)
 			}

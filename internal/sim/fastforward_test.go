@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"chopim/internal/apps"
+	"chopim/internal/nda"
+	"chopim/internal/ndart"
+)
+
+// snapshot captures every observable counter of a system so the
+// cycle-by-cycle and fast-forward paths can be compared exactly.
+func snapshot(s *System) string {
+	st := s.NDA.TotalStats()
+	out := fmt.Sprintf("dram=%d cpu=%d credit=%d host-ipc=%v busy=%d blocks=%d "+
+		"ACT=%d PRE=%d RD=%d WR=%d nRD=%d nWR=%d "+
+		"br=%d bw=%d acts=%d sh=%d sp=%d ops=%d launches=%d copies=%d",
+		s.Now(), s.CPUNow(), s.credit, s.HostIPC(), s.HostBusyCycles(), s.NDABlocks(),
+		s.Mem.NumACT, s.Mem.NumPRE, s.Mem.NumRD, s.Mem.NumWR, s.Mem.NumNDARD, s.Mem.NumNDAWR,
+		st.BlocksRead, st.BlocksWritten, st.RowActs, st.StallsHost, st.StallsPolicy, st.OpsCompleted,
+		s.RT.Launches, s.RT.Copies)
+	for i, c := range s.MCs {
+		out += fmt.Sprintf(" mc%d=%d/%d/%d/%d/%d/%d", i,
+			c.ReadsIssued, c.WritesIssued, c.ActsIssued, c.PresIssued, c.ReadLatencySum, c.Drains)
+	}
+	for i, c := range s.Cores {
+		out += fmt.Sprintf(" core%d=%d/%d", i, c.Retired, c.Cycles)
+	}
+	return out
+}
+
+// ffWorkload builds a relaunchable NDA workload on a fresh system, or
+// nil for host-only runs.
+type ffWorkload struct {
+	name string
+	cfg  func() Config
+	app  func(s *System) (func() (*ndart.Handle, error), error)
+}
+
+func ffWorkloads() []ffWorkload {
+	hostOnly := ffWorkload{
+		name: "host-only",
+		cfg:  func() Config { return Default(0) },
+	}
+	ndaOnly := ffWorkload{
+		name: "nda-only-nrm2",
+		cfg:  func() Config { return Default(-1) },
+		app: func(s *System) (func() (*ndart.Handle, error), error) {
+			a, err := apps.NewMicroPlaced(s.RT, "nrm2", (256<<10)/4, ndart.Private)
+			if err != nil {
+				return nil, err
+			}
+			return a.Iterate, nil
+		},
+	}
+	ndaCopy := ffWorkload{
+		name: "nda-only-copy-stochastic",
+		cfg: func() Config {
+			c := Default(-1)
+			c.NDA.Policy = nda.Stochastic
+			c.NDA.StochasticProb = 0.25
+			return c
+		},
+		app: func(s *System) (func() (*ndart.Handle, error), error) {
+			a, err := apps.NewMicroPlaced(s.RT, "copy", (128<<10)/4, ndart.Private)
+			if err != nil {
+				return nil, err
+			}
+			return a.Iterate, nil
+		},
+	}
+	mixed := ffWorkload{
+		name: "mixed-mix1-dot",
+		cfg:  func() Config { return Default(1) },
+		app: func(s *System) (func() (*ndart.Handle, error), error) {
+			a, err := apps.NewMicroPlaced(s.RT, "dot", (128<<10)/4, ndart.Private)
+			if err != nil {
+				return nil, err
+			}
+			return a.Iterate, nil
+		},
+	}
+	return []ffWorkload{hostOnly, ndaOnly, ndaCopy, mixed}
+}
+
+// drive advances sys through segments cycles-long windows, relaunching
+// the workload after every executed step exactly as the experiment
+// harness does, and records a snapshot at each segment boundary.
+func drive(t *testing.T, w ffWorkload, fast bool, segments int, segCycles int64) []string {
+	t.Helper()
+	s, err := New(w.cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var it func() (*ndart.Handle, error)
+	if w.app != nil {
+		if it, err = w.app(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var h *ndart.Handle
+	relaunch := func() {
+		if it == nil {
+			return
+		}
+		if h == nil || h.Done() {
+			if h, err = it(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	relaunch()
+	var snaps []string
+	for seg := 0; seg < segments; seg++ {
+		end := s.Now() + segCycles
+		for s.Now() < end {
+			if fast {
+				s.StepFast(end)
+			} else {
+				s.Tick()
+			}
+			relaunch()
+		}
+		snaps = append(snaps, snapshot(s))
+	}
+	return snaps
+}
+
+// TestRunFastMatchesRun proves the fast-forward contract: for host-only,
+// NDA-only, and mixed workloads, the skipping path reaches every segment
+// boundary with counters bit-identical to the cycle-by-cycle baseline.
+func TestRunFastMatchesRun(t *testing.T) {
+	for _, w := range ffWorkloads() {
+		t.Run(w.name, func(t *testing.T) {
+			slow := drive(t, w, false, 8, 5_000)
+			fast := drive(t, w, true, 8, 5_000)
+			for i := range slow {
+				if slow[i] != fast[i] {
+					t.Fatalf("segment %d diverged:\n slow: %s\n fast: %s", i, slow[i], fast[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRunFastAdvancesClock checks RunFast's bookkeeping on a fully idle
+// system: the clock jumps without ticks and the CPU-credit arithmetic
+// matches Tick's exactly.
+func TestRunFastAdvancesClock(t *testing.T) {
+	a, err := New(Default(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Default(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run(12_345)
+	b.RunFast(12_345)
+	if a.Now() != b.Now() || a.CPUNow() != b.CPUNow() || a.credit != b.credit {
+		t.Fatalf("clock skew: run=(%d,%d,%d) fast=(%d,%d,%d)",
+			a.Now(), a.CPUNow(), a.credit, b.Now(), b.CPUNow(), b.credit)
+	}
+}

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"chopim/internal/ndart"
+)
+
+// goldenBudget is deliberately short: long enough for every subsystem
+// (caches, write drains, NDA batches, launch packets) to reach steady
+// activity, short enough to run on every test invocation.
+const (
+	goldenWarm    = 5_000
+	goldenMeasure = 20_000
+)
+
+// goldenStats reduces one fixed-seed run to the headline counters the
+// figures are built from. All arithmetic is integer or a single IEEE
+// division, so the values are bit-stable across platforms. fast selects
+// the drive path; both must produce the same string.
+func goldenStats(t *testing.T, w ffWorkload, fast bool) string {
+	t.Helper()
+	s, err := New(w.cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var it func() (*ndart.Handle, error)
+	if w.app != nil {
+		if it, err = w.app(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var h *ndart.Handle
+	relaunch := func() {
+		if it == nil {
+			return
+		}
+		if h == nil || h.Done() {
+			if h, err = it(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run := func(cycles int64) {
+		relaunch()
+		end := s.Now() + cycles
+		for s.Now() < end {
+			if fast {
+				s.StepFast(end)
+			} else {
+				s.Tick()
+			}
+			relaunch()
+		}
+	}
+	run(goldenWarm)
+	s.BeginMeasurement()
+	busy0, blocks0 := s.HostBusyCycles(), s.NDABlocks()
+	run(goldenMeasure)
+	return fmt.Sprintf("ipc=%v blocks=%d busy=%d rd=%d wr=%d ndard=%d ndawr=%d",
+		s.HostIPC(), s.NDABlocks()-blocks0, s.HostBusyCycles()-busy0,
+		s.Mem.NumRD, s.Mem.NumWR, s.Mem.NumNDARD, s.Mem.NumNDAWR)
+}
+
+// goldenWant pins exact simulator behavior for the fixed seeds and
+// budgets above. Any change to scheduling, timing, or fast-forward
+// semantics that alters observable counters fails TestGoldenStats;
+// regenerate with `go test ./internal/sim -run TestGoldenStats -v` and
+// copy the logged values only when the behavior change is intended.
+var goldenWant = map[string]string{
+	"host-only":                "ipc=1.2531687341563291 blocks=0 busy=41190 rd=11519 wr=0 ndard=0 ndawr=0",
+	"nda-only-nrm2":            "ipc=0 blocks=12748 busy=0 rd=0 wr=4 ndard=15914 ndawr=0",
+	"nda-only-copy-stochastic": "ipc=0 blocks=10179 busy=0 rd=0 wr=4 ndard=6639 ndawr=6169",
+	"mixed-mix1-dot":           "ipc=1.0024599877000615 blocks=6130 busy=39062 rd=11002 wr=4 ndard=7551 ndawr=0",
+}
+
+// TestGoldenStats asserts exact HostIPC / NDABlocks / HostBusyCycles
+// (and the DRAM command counters) on short deterministic runs of
+// host-only, NDA-only, and mixed workloads, via both drive paths.
+func TestGoldenStats(t *testing.T) {
+	for _, w := range ffWorkloads() {
+		for _, fast := range []bool{false, true} {
+			name := w.name + "/slow"
+			if fast {
+				name = w.name + "/fast"
+			}
+			t.Run(name, func(t *testing.T) {
+				got := goldenStats(t, w, fast)
+				want, ok := goldenWant[w.name]
+				if !ok {
+					t.Fatalf("no golden value recorded; add:\n%q: %q,", w.name, got)
+				}
+				if got != want {
+					t.Errorf("golden mismatch:\n got:  %s\n want: %s", got, want)
+				}
+			})
+		}
+	}
+}

@@ -170,15 +170,82 @@ func (s *System) Tick() {
 	s.dramCycle++
 }
 
-// Run advances n DRAM cycles.
+// Run advances n DRAM cycles one tick at a time (the reference path;
+// RunFast must produce bit-identical state).
 func (s *System) Run(n int64) {
 	for i := int64(0); i < n; i++ {
 		s.Tick()
 	}
 }
 
+// NextEvent returns the earliest DRAM cycle >= Now() at which any
+// component can change state. Every cycle in [Now(), NextEvent()) is
+// provably idle: executing Tick there would neither issue a command nor
+// mutate any observable counter, so the clock may jump over the window.
+func (s *System) NextEvent() int64 {
+	// Trace-driven cores always have work and force cycle-by-cycle
+	// execution (each core's next CPU event is the current CPU cycle).
+	for _, core := range s.Cores {
+		if core.NextEvent(s.cpuCycle) <= s.cpuCycle {
+			return s.dramCycle
+		}
+	}
+	next := dram.Never
+	for _, c := range s.MCs {
+		if t := c.NextEvent(s.dramCycle); t < next {
+			next = t
+		}
+	}
+	if t := s.NDA.NextEvent(s.dramCycle); t < next {
+		next = t
+	}
+	if t := s.RT.NextEvent(s.dramCycle); t < next {
+		next = t
+	}
+	if next < s.dramCycle {
+		next = s.dramCycle
+	}
+	return next
+}
+
+// skipIdle advances the clocks over k provably-idle DRAM cycles without
+// ticking, reproducing Tick's CPU-credit arithmetic exactly.
+func (s *System) skipIdle(k int64) {
+	s.dramCycle += k
+	total := int64(s.credit) + k*cpuCredit
+	s.cpuCycle += total / cpuDivisor
+	s.credit = int(total % cpuDivisor)
+}
+
+// StepFast advances the system to its next event (clamped to limit) and
+// executes one Tick there if the event lies before limit. It always
+// makes progress; state after reaching any cycle is bit-identical to
+// ticking every cycle.
+func (s *System) StepFast(limit int64) {
+	s.NDA.SetFastForward(true)
+	if next := s.NextEvent(); next > s.dramCycle {
+		if next > limit {
+			next = limit
+		}
+		s.skipIdle(next - s.dramCycle)
+	}
+	if s.dramCycle < limit {
+		s.Tick()
+	}
+}
+
+// RunFast advances n DRAM cycles, jumping the clock over idle windows.
+func (s *System) RunFast(n int64) {
+	end := s.dramCycle + n
+	for s.dramCycle < end {
+		s.StepFast(end)
+	}
+}
+
 // Await runs until every handle completes, up to maxCycles additional
-// cycles. It returns an error on timeout.
+// cycles, fast-forwarding over idle windows (handles and the copier can
+// only change state on a tick, so checking after each executed tick is
+// exact). It returns an error on timeout.
 func (s *System) Await(maxCycles int64, hs ...*ndart.Handle) error {
 	deadline := s.dramCycle + maxCycles
 	for s.dramCycle < deadline {
@@ -192,7 +259,7 @@ func (s *System) Await(maxCycles int64, hs ...*ndart.Handle) error {
 		if done && !s.RT.CopierBusy() {
 			return nil
 		}
-		s.Tick()
+		s.StepFast(deadline)
 	}
 	return fmt.Errorf("sim: Await timed out after %d cycles", maxCycles)
 }
