@@ -8,7 +8,10 @@ package chopim_test
 import (
 	"testing"
 
+	"chopim/internal/apps"
 	"chopim/internal/experiments"
+	"chopim/internal/ndart"
+	"chopim/internal/sim"
 	"chopim/internal/stats"
 )
 
@@ -50,6 +53,44 @@ func BenchmarkNDAOnlySweepFastParallel(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkMixedHostNDA measures the host-traffic hot path: a mixed
+// host+NDA system (mix 1 plus a long-running NDA COPY, the workload
+// shape behind every headline figure) advanced cycle by cycle through
+// the steady-state tick loop. Host cores pin the clock to every DRAM
+// cycle, so this isolates per-cycle scheduler cost: the FR-FCFS passes,
+// the DRAM timing checks, and the NDA coordination hooks. Setup and
+// warm-up run off the timer; allocs/op must be zero (the tick loop is
+// pooled end to end — TestTickLoopAllocFree pins the same property).
+func BenchmarkMixedHostNDA(b *testing.B) {
+	const measureCycles = 100_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := sim.New(sim.Default(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Sized so the op outlives warm-up plus the measured window.
+		app, err := apps.NewMicroPlaced(s.RT, "copy", (8<<20)/4, ndart.Private)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h, err := app.Iterate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Run(50_000)
+		b.StartTimer()
+		s.Run(measureCycles)
+		b.StopTimer()
+		if h.Done() {
+			b.Fatal("NDA op finished inside the measured window")
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(measureCycles), "DRAM-cycles/op")
 }
 
 // BenchmarkFig02IdleHistogram regenerates Figure 2: rank idle-time

@@ -4,19 +4,25 @@
 //
 // Usage:
 //
-//	chopim [-quick] [-warm N] [-measure N] [-parallel N] <experiment>
+//	chopim [-quick] [-warm N] [-measure N] [-parallel N]
+//	       [-cpuprofile F] [-memprofile F] <experiment>
 //
 // Experiments: fig2 fig10 fig11 fig12 fig13 fig14 fig15a fig15b power
 // config all
 //
 // -parallel N shards each figure's independent simulation points across
 // N workers (-1 = all CPUs). Tables are identical for every N.
+//
+// -cpuprofile / -memprofile write pprof profiles covering the selected
+// experiment (see README.md, "Profiling").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 	"time"
 
@@ -25,11 +31,17 @@ import (
 	"chopim/internal/stats"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run executes the CLI; profile writers installed here flush on every
+// return path (os.Exit would skip deferred writes).
+func run() int {
 	quick := flag.Bool("quick", false, "reduced simulation budget")
 	warm := flag.Int64("warm", 0, "warm-up cycles (0 = default)")
 	measure := flag.Int64("measure", 0, "measurement cycles (0 = default)")
 	parallel := flag.Int("parallel", -1, "workers for independent simulation points (-1 = all CPUs, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: chopim [flags] <fig2|fig10|fig11|fig12|fig13|fig14|fig15a|fig15b|power|config|all>\n")
 		flag.PrintDefaults()
@@ -37,7 +49,37 @@ func main() {
 	flag.Parse()
 	if flag.NArg() < 1 {
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chopim: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "chopim: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chopim: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "chopim: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	opt := experiments.DefaultOptions()
@@ -71,23 +113,24 @@ func main() {
 			fmt.Printf("\n===== %s =====\n", n)
 			if err := cmds[n](opt); err != nil {
 				fmt.Fprintf(os.Stderr, "chopim %s: %v\n", n, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		st := experiments.ReadRunnerStats()
 		fmt.Printf("\nrunner: %d points (%d failed), %s simulation time across <=%d workers\n",
 			st.Jobs, st.Errors, st.BusyTime.Round(time.Millisecond), st.MaxShards)
-		return
+		return 0
 	}
-	run, ok := cmds[name]
+	cmd, ok := cmds[name]
 	if !ok {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
-	if err := run(opt); err != nil {
+	if err := cmd(opt); err != nil {
 		fmt.Fprintf(os.Stderr, "chopim %s: %v\n", name, err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func tw() *tabwriter.Writer {

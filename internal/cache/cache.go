@@ -48,10 +48,14 @@ type line struct {
 	lru   uint64 // last-touch counter
 }
 
-// Cache is a single set-associative level.
+// Cache is a single set-associative level. Lines live in one flat
+// array (set-major) — the per-access way scan is the hottest loop in
+// the whole simulator, and the flat layout spares it an indirection.
 type Cache struct {
 	cfg   Config
-	sets  [][]line
+	lines []line
+	nsets uint64
+	ways  int
 	clock uint64
 
 	Hits, Misses int64
@@ -62,19 +66,24 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	c := &Cache{cfg: cfg, sets: make([][]line, cfg.Sets())}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
+	return &Cache{
+		cfg:   cfg,
+		lines: make([]line, cfg.Sets()*cfg.Ways),
+		nsets: uint64(cfg.Sets()),
+		ways:  cfg.Ways,
 	}
-	return c
 }
 
 // Config returns the level's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
 func (c *Cache) index(block uint64) (set int, tag uint64) {
-	s := uint64(len(c.sets))
-	return int(block % s), block / s
+	return int(block % c.nsets), block / c.nsets
+}
+
+// set returns the set's ways as a subslice of the flat line array.
+func (c *Cache) set(set int) []line {
+	return c.lines[set*c.ways : set*c.ways+c.ways]
 }
 
 // Lookup probes for the block (address divided by block size), updating
@@ -82,8 +91,9 @@ func (c *Cache) index(block uint64) (set int, tag uint64) {
 func (c *Cache) Lookup(block uint64, write bool) bool {
 	set, tag := c.index(block)
 	c.clock++
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
+	ways := c.set(set)
+	for i := range ways {
+		l := &ways[i]
 		if l.valid && l.tag == tag {
 			l.lru = c.clock
 			if write {
@@ -100,8 +110,9 @@ func (c *Cache) Lookup(block uint64, write bool) bool {
 // Contains probes without side effects.
 func (c *Cache) Contains(block uint64) bool {
 	set, tag := c.index(block)
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
+	ways := c.set(set)
+	for i := range ways {
+		l := &ways[i]
 		if l.valid && l.tag == tag {
 			return true
 		}
@@ -113,7 +124,7 @@ func (c *Cache) Contains(block uint64) bool {
 func (c *Cache) Insert(block uint64, dirty bool) (victim uint64, victimDirty bool) {
 	set, tag := c.index(block)
 	c.clock++
-	ways := c.sets[set]
+	ways := c.set(set)
 	// Reuse an existing or invalid way first.
 	vi := 0
 	for i := range ways {
@@ -131,7 +142,7 @@ func (c *Cache) Insert(block uint64, dirty bool) (victim uint64, victimDirty boo
 	v := ways[vi]
 	ways[vi] = line{tag: tag, valid: true, dirty: dirty, lru: c.clock}
 	if v.valid && v.dirty {
-		return v.tag*uint64(len(c.sets)) + uint64(set), true
+		return v.tag*c.nsets + uint64(set), true
 	}
 	return 0, false
 }
@@ -139,8 +150,9 @@ func (c *Cache) Insert(block uint64, dirty bool) (victim uint64, victimDirty boo
 // Invalidate drops the block if present, reporting whether it was dirty.
 func (c *Cache) Invalidate(block uint64) (wasDirty bool) {
 	set, tag := c.index(block)
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
+	ways := c.set(set)
+	for i := range ways {
+		l := &ways[i]
 		if l.valid && l.tag == tag {
 			d := l.dirty
 			*l = line{}

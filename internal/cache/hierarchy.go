@@ -46,11 +46,18 @@ func DefaultHierarchyConfig(cores int) HierarchyConfig {
 	}
 }
 
-// mshr tracks one outstanding LLC miss and its waiting cores.
+// mshr tracks one outstanding LLC miss and its waiting cores. Nodes are
+// pooled on a free list: each carries a fill callback created once (it
+// captures only the node), so the steady-state miss path allocates
+// nothing.
 type mshr struct {
-	waiters []waiter
-	core    int
-	dirty   bool // a store merged into the in-flight miss
+	waiters  []waiter
+	core     int
+	dirty    bool // a store merged into the in-flight miss
+	block    uint64
+	prefetch bool // fills the LLC only
+	fill     func(dramDone int64)
+	next     *mshr // free-list link
 }
 
 type waiter struct {
@@ -76,10 +83,35 @@ type Hierarchy struct {
 	clock   Clock
 
 	pending    map[uint64]*mshr // LLC MSHRs keyed by block
+	mshrFree   *mshr            // pooled MSHR nodes
 	l1Pending  []int            // outstanding misses per core (L1 MSHR limit)
 	prefetch   []strideState
 	Prefetches int64
 	Demand     int64
+}
+
+// allocMSHR pops a pooled MSHR node (or grows the pool).
+func (h *Hierarchy) allocMSHR(core int, block uint64, dirty, prefetch bool) *mshr {
+	m := h.mshrFree
+	if m != nil {
+		h.mshrFree = m.next
+		m.next = nil
+	} else {
+		m = &mshr{}
+		m.fill = func(dramDone int64) { h.onFill(m, dramDone) }
+	}
+	m.core, m.block, m.dirty, m.prefetch = core, block, dirty, prefetch
+	return m
+}
+
+// freeMSHR returns a node to the pool, dropping waiter references.
+func (h *Hierarchy) freeMSHR(m *mshr) {
+	for i := range m.waiters {
+		m.waiters[i] = waiter{}
+	}
+	m.waiters = m.waiters[:0]
+	m.next = h.mshrFree
+	h.mshrFree = m
 }
 
 // NewHierarchy builds the hierarchy over the given backend.
@@ -138,7 +170,7 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool, done func(cpuDone 
 			return Stall, 0
 		}
 		h.l1Pending[core]++
-		m.waiters = append(m.waiters, waiter{core: core, done: h.wrapDone(core, done)})
+		m.waiters = append(m.waiters, waiter{core: core, done: done})
 		return Queued, 0
 	}
 
@@ -149,18 +181,16 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool, done func(cpuDone 
 		return Stall, 0
 	}
 
-	m := &mshr{core: core, dirty: write}
+	m := h.allocMSHR(core, b, write, false)
 	if !write {
 		h.l1Pending[core]++
-		m.waiters = append(m.waiters, waiter{core: core, done: h.wrapDone(core, done)})
+		m.waiters = append(m.waiters, waiter{core: core, done: done})
 	}
-	ok := h.backend.EnqueueRead(addr, func(dramDone int64) {
-		h.onFill(b, m, dramDone)
-	})
-	if !ok {
+	if !h.backend.EnqueueRead(addr, m.fill) {
 		if !write {
 			h.l1Pending[core]--
 		}
+		h.freeMSHR(m)
 		return Stall, 0
 	}
 	h.pending[b] = m
@@ -172,26 +202,27 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool, done func(cpuDone 
 	return Queued, 0
 }
 
-// wrapDone adds L1 MSHR release to a core's completion callback.
-func (h *Hierarchy) wrapDone(core int, done func(int64)) func(int64) {
-	return func(cpuDone int64) {
-		h.l1Pending[core]--
-		if done != nil {
-			done(cpuDone)
+// onFill handles data arriving from memory for the MSHR's block at DRAM
+// cycle dramDone. Demand fills propagate through every level; prefetch
+// fills install in the LLC only. Waiters complete at the equivalent CPU
+// cycle plus the LLC-to-core fill latency, releasing their L1 MSHR.
+func (h *Hierarchy) onFill(m *mshr, dramDone int64) {
+	delete(h.pending, m.block)
+	if m.prefetch {
+		if v, vd := h.llc.Insert(m.block, m.dirty); vd {
+			h.writeback(v)
 		}
+	} else {
+		h.insertAll(m.core, m.block, m.dirty)
 	}
-}
-
-// onFill handles data arriving from memory for block b at DRAM cycle
-// dramDone. Waiters complete at the equivalent CPU cycle plus the
-// LLC-to-core fill latency.
-func (h *Hierarchy) onFill(b uint64, m *mshr, dramDone int64) {
-	delete(h.pending, b)
-	h.insertAll(m.core, b, m.dirty)
 	cpuDone := h.clock.CPUOfDRAM(dramDone) + h.cfg.LLC.LatencyCPU
 	for _, w := range m.waiters {
-		w.done(cpuDone)
+		h.l1Pending[w.core]--
+		if w.done != nil {
+			w.done(cpuDone)
+		}
 	}
+	h.freeMSHR(m)
 }
 
 // fill propagates a block into upper levels after a lower-level hit.
@@ -274,25 +305,13 @@ func (h *Hierarchy) maybePrefetch(core int, addr uint64) {
 		if len(h.pending) >= h.cfg.LLC.MSHRs {
 			return
 		}
-		m := &mshr{core: core}
+		m := h.allocMSHR(core, pblock, false, true)
 		paddr := pblock * uint64(h.cfg.L1.BlockBytes)
-		if !h.backend.EnqueueRead(paddr, func(dramDone int64) { h.onPrefetchFill(pblock, m, dramDone) }) {
+		if !h.backend.EnqueueRead(paddr, m.fill) {
+			h.freeMSHR(m)
 			return
 		}
 		h.pending[pblock] = m
 		h.Prefetches++
-	}
-}
-
-// onPrefetchFill installs a prefetched block in the LLC only. Demand
-// misses that merged into the prefetch MSHR complete like normal fills.
-func (h *Hierarchy) onPrefetchFill(b uint64, m *mshr, dramDone int64) {
-	delete(h.pending, b)
-	if v, vd := h.llc.Insert(b, m.dirty); vd {
-		h.writeback(v)
-	}
-	cpuDone := h.clock.CPUOfDRAM(dramDone) + h.cfg.LLC.LatencyCPU
-	for _, w := range m.waiters {
-		w.done(cpuDone)
 	}
 }

@@ -53,6 +53,7 @@ type Core struct {
 	hier  *cache.Hierarchy
 
 	rob      []robEntry
+	doneFns  []func(cpuDone int64) // per-ROB-slot completion callbacks
 	head, n  int
 	stores   int // stores in flight (LSQ occupancy, with loads)
 	loads    int
@@ -63,9 +64,21 @@ type Core struct {
 	Cycles  int64
 }
 
-// NewCore builds a core over the shared hierarchy.
+// NewCore builds a core over the shared hierarchy. Completion callbacks
+// are created once per ROB slot (each captures only its slot index), so
+// issuing a memory instruction allocates nothing; a slot cannot be
+// reused while its access is outstanding (a pending entry blocks retire).
 func NewCore(id int, cfg Config, trace TraceSource, hier *cache.Hierarchy) *Core {
-	return &Core{ID: id, cfg: cfg, trace: trace, hier: hier, rob: make([]robEntry, cfg.ROBSize)}
+	c := &Core{ID: id, cfg: cfg, trace: trace, hier: hier, rob: make([]robEntry, cfg.ROBSize)}
+	c.doneFns = make([]func(int64), cfg.ROBSize)
+	for i := range c.doneFns {
+		e := &c.rob[i]
+		c.doneFns[i] = func(cpuDone int64) {
+			e.pending = false
+			e.doneAt = cpuDone
+		}
+	}
+	return c
 }
 
 // IPC returns retired instructions per CPU cycle so far.
@@ -149,10 +162,7 @@ func (c *Core) tryIssue(in Instr, now int64) bool {
 	if c.loads+c.stores >= c.cfg.LSQSize {
 		return false
 	}
-	res, lat := c.hier.Access(c.ID, in.Addr, in.Write, func(cpuDone int64) {
-		e.pending = false
-		e.doneAt = cpuDone
-	})
+	res, lat := c.hier.Access(c.ID, in.Addr, in.Write, c.doneFns[slot])
 	switch res {
 	case cache.Stall:
 		return false

@@ -12,6 +12,18 @@ type bankState struct {
 	nextPRE int64
 	nextRD  int64
 	nextWR  int64
+
+	// Cached earliest-issue horizons folding the bank-group, rank, tFAW,
+	// and refresh components (see rankState.horizons). Valid while
+	// hzStamp equals the owning rank's stamp; every Issue touching the
+	// rank bumps the stamp, invalidating all of its banks at once. With
+	// the cache warm, CanIssue in a scheduler inner loop is a structural
+	// check plus one int64 compare.
+	hzStamp  int64
+	readyACT int64
+	readyPRE int64
+	readyRD  int64
+	readyWR  int64
 }
 
 // bgState tracks bank-group level horizons (tCCD_L, tRRD_L, tWTR_L).
@@ -35,10 +47,33 @@ type rankState struct {
 	faw    []int64 // issue cycles of the last 4 ACTs (ring buffer)
 	fawIdx int
 
+	// stamp versions the rank's timing state for the per-bank horizon
+	// cache. It starts at 1 (so zero-valued bank caches are invalid) and
+	// is bumped by every Issue to the rank.
+	stamp int64
+
 	// dataBusyUntil is when the rank's data pins/internal IO finish the
 	// current burst. Used for statistics and NDA idle detection.
 	dataBusyUntil int64
 	refreshUntil  int64
+}
+
+// horizons returns the bank's cached earliest-issue horizons, recomputing
+// them from the authoritative per-bank/bank-group/rank state when any
+// command has issued to the rank since the last computation.
+func (rk *rankState) horizons(t Timing, bgIdx, flat int) *bankState {
+	b := &rk.banks[flat]
+	if b.hzStamp == rk.stamp {
+		return b
+	}
+	bg := &rk.bgs[bgIdx]
+	ru := rk.refreshUntil
+	b.readyACT = max(b.nextACT, bg.nextACT, rk.nextACT, rk.fawReady(t), ru)
+	b.readyPRE = max(b.nextPRE, ru)
+	b.readyRD = max(b.nextRD, bg.nextRD, rk.nextRD, ru)
+	b.readyWR = max(b.nextWR, bg.nextWR, rk.nextWR, ru)
+	b.hzStamp = rk.stamp
+	return b
 }
 
 // chanState tracks channel-level constraints that apply only to external
@@ -54,6 +89,59 @@ type chanState struct {
 
 	dataBusyUntil int64
 	nextRefresh   int64
+
+	// Cached channel-bus horizons for external column commands, split by
+	// whether the target rank matches the last column's rank. colStamp is
+	// bumped by every external column issue; extStamp tracks the cached
+	// values (colStamp starts at 1 so the zero cache is invalid).
+	colStamp  int64
+	extStamp  int64
+	extRDSame int64
+	extRDDiff int64
+	extWRSame int64
+	extWRDiff int64
+}
+
+// extCol returns the earliest cycle the channel bus admits an external
+// column command of the given kind to the given rank (the channelColOK
+// constraints folded into a single horizon).
+func (ch *chanState) extCol(cmd Command, rank int, t Timing) int64 {
+	if ch.extStamp != ch.colStamp {
+		busy := ch.dataBusyUntil
+		if !ch.lastColValid {
+			ch.extRDSame = busy - int64(t.CL)
+			ch.extRDDiff = ch.extRDSame
+			ch.extWRSame = busy - int64(t.CWL)
+			ch.extWRDiff = ch.extWRSame
+		} else {
+			ch.extRDSame = busy - int64(t.CL)
+			ch.extRDDiff = busy + int64(t.RTRS) - int64(t.CL)
+			if !ch.lastColRead {
+				// Write-to-read across ranks: bus-only constraint.
+				ch.extRDDiff = max(ch.extRDDiff, ch.lastColCycle+int64(t.CWL+t.BL+t.RTRS-t.CL))
+			}
+			ch.extWRSame = busy - int64(t.CWL)
+			ch.extWRDiff = busy + int64(t.RTRS) - int64(t.CWL)
+			if ch.lastColRead {
+				// Read-to-write bus turnaround, any rank.
+				rtw := ch.lastColCycle + int64(t.ReadToWrite())
+				ch.extWRSame = max(ch.extWRSame, rtw)
+				ch.extWRDiff = max(ch.extWRDiff, rtw)
+			}
+		}
+		ch.extStamp = ch.colStamp
+	}
+	same := !ch.lastColValid || ch.lastColRank == rank
+	if cmd == CmdRD {
+		if same {
+			return ch.extRDSame
+		}
+		return ch.extRDDiff
+	}
+	if same {
+		return ch.extWRSame
+	}
+	return ch.extWRDiff
 }
 
 // Mem is the DDR4 memory system state machine. It validates and applies
@@ -85,11 +173,13 @@ func New(g Geometry, t Timing) *Mem {
 	for c := range m.channels {
 		ch := &m.channels[c]
 		ch.ranks = make([]rankState, g.Ranks)
+		ch.colStamp = 1
 		for r := range ch.ranks {
 			rk := &ch.ranks[r]
 			rk.banks = make([]bankState, g.BanksPerRank())
 			rk.bgs = make([]bgState, g.BankGroups)
 			rk.faw = make([]int64, 4)
+			rk.stamp = 1
 			for i := range rk.faw {
 				rk.faw[i] = -(1 << 40) // far past: window initially empty
 			}
@@ -125,6 +215,38 @@ func (m *Mem) ChannelDataBusyUntil(channel int) int64 {
 	return m.channels[channel].dataBusyUntil
 }
 
+// RankStamp returns a version counter for the rank's timing and row
+// state: it advances on every command issued to the rank and on nothing
+// else. A scheduler caching per-bank conclusions ("request r's column is
+// ready at cycle T", "bank b needs an ACT") may reuse them while the
+// stamp is unchanged — commands to other ranks cannot move this rank's
+// bank, bank-group, rank, tFAW, or refresh horizons. Channel-bus
+// constraints are NOT covered; combine with ExtColReady.
+func (m *Mem) RankStamp(channel, rank int) int64 {
+	return m.channels[channel].ranks[rank].stamp
+}
+
+// BankSched returns the addressed bank's row state together with every
+// cached rank-side earliest-issue horizon (see rankState.horizons) in
+// one call — the scheduler's per-bank recompute input. Horizons are raw
+// (not clamped to any current cycle); callers compare them against now.
+// Channel-bus constraints for external columns are separate
+// (ExtColReady).
+func (m *Mem) BankSched(channel, rank, bankGroup, flat int) (row int, open bool, readyACT, readyPRE, readyRD, readyWR int64) {
+	b := m.channels[channel].ranks[rank].horizons(m.T, bankGroup, flat)
+	return b.row, b.open, b.readyACT, b.readyPRE, b.readyRD, b.readyWR
+}
+
+// ExtColReady returns the earliest cycle the channel bus admits an
+// external column command of the given kind to the given rank: the
+// bus-occupancy, tRTRS rank-switch, and read/write turnaround horizons
+// folded into one value (O(1), cached per channel). Together with the
+// rank-side bound from NextIssue(cmd, a, now, true) it reconstructs the
+// full external column horizon.
+func (m *Mem) ExtColReady(channel int, cmd Command, rank int) int64 {
+	return m.channels[channel].extCol(cmd, rank, m.T)
+}
+
 // fawReady returns the earliest cycle an ACT may issue under tFAW.
 func (r *rankState) fawReady(t Timing) int64 {
 	// The ring holds the last 4 ACT times; the next slot is the oldest.
@@ -133,7 +255,65 @@ func (r *rankState) fawReady(t Timing) int64 {
 
 // CanIssue reports whether cmd to address a may legally issue at cycle now.
 // internal marks NDA-side column accesses, which skip channel-bus checks.
+//
+// The check runs off the per-bank horizon cache: a structural test on the
+// bank's row state plus int64 compares against cached earliest-issue
+// cycles. canIssueRef is the uncached oracle the cache is verified
+// against (TestCanIssueCacheMatchesReference).
 func (m *Mem) CanIssue(cmd Command, a Addr, now int64, internal bool) bool {
+	m.checkAddr(a)
+	ch := &m.channels[a.Channel]
+	rk := &ch.ranks[a.Rank]
+	flat := a.GlobalBank(m.Geom)
+
+	switch cmd {
+	case CmdACT:
+		if rk.banks[flat].open {
+			return false
+		}
+		return now >= rk.horizons(m.T, a.BankGroup, flat).readyACT
+
+	case CmdPRE:
+		if !rk.banks[flat].open {
+			return false
+		}
+		return now >= rk.horizons(m.T, a.BankGroup, flat).readyPRE
+
+	case CmdRD, CmdWR:
+		if b := &rk.banks[flat]; !b.open || b.row != a.Row {
+			return false
+		}
+		hz := rk.horizons(m.T, a.BankGroup, flat)
+		if cmd == CmdRD {
+			if now < hz.readyRD {
+				return false
+			}
+		} else if now < hz.readyWR {
+			return false
+		}
+		if internal {
+			return true
+		}
+		return now >= ch.extCol(cmd, a.Rank, m.T)
+
+	case CmdREF:
+		if now < rk.refreshUntil {
+			return false
+		}
+		// All banks of the rank must be precharged.
+		for i := range rk.banks {
+			if rk.banks[i].open {
+				return false
+			}
+		}
+		return now >= rk.nextACT
+	}
+	return false
+}
+
+// canIssueRef is the original uncached CanIssue, kept as the oracle for
+// the horizon-cache equivalence tests.
+func (m *Mem) canIssueRef(cmd Command, a Addr, now int64, internal bool) bool {
 	m.checkAddr(a)
 	ch := &m.channels[a.Channel]
 	rk := &ch.ranks[a.Rank]
@@ -233,56 +413,46 @@ const Never = int64(^uint64(0) >> 1)
 
 // NextIssue returns the earliest cycle t >= now at which CanIssue(cmd,
 // a, t, internal) can become true, assuming no further commands issue to
-// the memory in the meantime. For internal (NDA) column accesses the
-// bound is exact; for external accesses it is a lower bound (channel-bus
-// constraints are not folded in). Commands that are structurally blocked
-// in the current bank state (ACT on an open bank, PRE or column on a
-// closed or row-mismatched one) conservatively return now: they need an
-// intervening command to become legal, which is itself an event.
+// the memory in the meantime. The bound is exact for column commands on
+// both the internal (NDA) and external (host) paths — channel-bus
+// turnaround and tRTRS are folded in for external accesses. Commands
+// that are structurally blocked in the current bank state (ACT on an
+// open bank, PRE or column on a closed or row-mismatched one)
+// conservatively return now: they need an intervening command to become
+// legal, which is itself an event.
 func (m *Mem) NextIssue(cmd Command, a Addr, now int64, internal bool) int64 {
 	m.checkAddr(a)
-	rk := m.rank(a)
-	bg := &rk.bgs[a.BankGroup]
-	b := &rk.banks[a.GlobalBank(m.Geom)]
-	t := now
-	maxi := func(v int64) {
-		if v > t {
-			t = v
-		}
-	}
-	maxi(rk.refreshUntil)
+	ch := &m.channels[a.Channel]
+	rk := &ch.ranks[a.Rank]
+	flat := a.GlobalBank(m.Geom)
+	b := &rk.banks[flat]
 
 	switch cmd {
 	case CmdACT:
 		if b.open {
 			return now
 		}
-		maxi(b.nextACT)
-		maxi(bg.nextACT)
-		maxi(rk.nextACT)
-		maxi(rk.fawReady(m.T))
+		return max(now, rk.horizons(m.T, a.BankGroup, flat).readyACT)
 
 	case CmdPRE:
 		if !b.open {
 			return now
 		}
-		maxi(b.nextPRE)
+		return max(now, rk.horizons(m.T, a.BankGroup, flat).readyPRE)
 
-	case CmdRD:
+	case CmdRD, CmdWR:
 		if !b.open || b.row != a.Row {
 			return now
 		}
-		maxi(b.nextRD)
-		maxi(bg.nextRD)
-		maxi(rk.nextRD)
-
-	case CmdWR:
-		if !b.open || b.row != a.Row {
-			return now
+		hz := rk.horizons(m.T, a.BankGroup, flat)
+		ready := hz.readyRD
+		if cmd == CmdWR {
+			ready = hz.readyWR
 		}
-		maxi(b.nextWR)
-		maxi(bg.nextWR)
-		maxi(rk.nextWR)
+		if !internal {
+			ready = max(ready, ch.extCol(cmd, a.Rank, m.T))
+		}
+		return max(now, ready)
 
 	case CmdREF:
 		for i := range rk.banks {
@@ -290,9 +460,9 @@ func (m *Mem) NextIssue(cmd Command, a Addr, now int64, internal bool) int64 {
 				return now
 			}
 		}
-		maxi(rk.nextACT)
+		return max(now, rk.refreshUntil, rk.nextACT)
 	}
-	return t
+	return now
 }
 
 // Issue applies cmd at cycle now, updating all affected timing horizons.
@@ -305,6 +475,7 @@ func (m *Mem) Issue(cmd Command, a Addr, now int64, internal bool) {
 	ch := &m.channels[a.Channel]
 	rk := &ch.ranks[a.Rank]
 	b := &rk.banks[a.GlobalBank(m.Geom)]
+	rk.stamp++ // invalidate the rank's bank horizon caches
 
 	maxi := func(p *int64, v int64) {
 		if v > *p {
@@ -363,6 +534,7 @@ func (m *Mem) Issue(cmd Command, a Addr, now int64, internal bool) {
 			ch.lastColRead = true
 			ch.lastColRank = a.Rank
 			ch.lastColCycle = now
+			ch.colStamp++
 		}
 
 	case CmdWR:
@@ -390,6 +562,7 @@ func (m *Mem) Issue(cmd Command, a Addr, now int64, internal bool) {
 			ch.lastColRead = false
 			ch.lastColRank = a.Rank
 			ch.lastColCycle = now
+			ch.colStamp++
 		}
 
 	case CmdREF:

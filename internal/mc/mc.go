@@ -6,11 +6,20 @@
 // controller needs (Section III): per-cycle host activity per rank, the
 // rank targeted by the oldest outstanding read (next-rank prediction),
 // and pending-demand checks used to prioritize host row commands.
+//
+// Scheduling is incremental: requests are bucketed per (rank, flat bank)
+// at enqueue time (see queue.go), so the per-cycle FR-FCFS passes walk
+// occupied banks instead of rescanning whole queues, and the NDA
+// coordination hooks are O(1) counter reads. The bucketed scheduler is
+// decision-for-decision equivalent to the original full-rescan one; the
+// rescan survives as scheduleRef, the oracle for the randomized
+// equivalence test (TestBucketedSchedulerMatchesReference).
 package mc
 
 import (
 	"chopim/internal/addrmap"
 	"chopim/internal/dram"
+	"chopim/internal/ring"
 	"chopim/internal/stats"
 )
 
@@ -21,6 +30,22 @@ type Request struct {
 	Write  bool
 	Arrive int64
 	Done   func(dramDone int64) // nil for writes and prefetches
+
+	// bankKey is the request's (channel, rank, flat-bank) bucket index —
+	// (Channel*Ranks+Rank)*BanksPerRank + DAddr.GlobalBank — decoded
+	// once at enqueue (the scheduler and demand hooks read it every
+	// cycle). The channel is folded in so buckets never mix channels:
+	// the system router always routes one channel per controller, but
+	// direct Enqueue* callers (unit harnesses) may not.
+	bankKey int32
+	// seq is the queue-insertion order FR-FCFS ages by. It is assigned
+	// when the request enters its scheduling queue — an overflow-buffered
+	// write is sequenced at drain-into-queue time, matching the append
+	// order of the original slice-based queues.
+	seq int64
+
+	qnext, qprev *Request // arrival-ordered queue list; qnext doubles as the free-list link
+	bnext, bprev *Request // (rank, bank) bucket list
 }
 
 // Config tunes one channel controller.
@@ -44,20 +69,39 @@ type Controller struct {
 	mapper  addrmap.Mapper
 	channel int
 
-	rq []*Request
-	wq []*Request
+	rq reqQueue
+	wq reqQueue
 	// overflow absorbs writebacks beyond the write queue (an unbounded
 	// eviction buffer drained into wq as space frees).
-	overflow []*Request
+	overflow ring.Ring[*Request]
 	drain    bool
+
+	bpr    int      // banks per rank (bankKey stride)
+	nrank  int      // ranks per channel
+	free   *Request // request node pool
+	seqGen int64
+	stScratch  []int64 // per-rank stamp scratch for schedule sweeps
+	busScratch []int64 // per-rank channel-bus horizon scratch
+
+	// cross is set when any request ever decoded to a foreign channel.
+	// The system router routes one channel per controller, so this only
+	// trips in unit harnesses that enqueue raw addresses; the controller
+	// then runs the seed-exact rescan scheduler, whose per-request
+	// evaluation (and channel-agnostic visited-bank marking) reproduces
+	// the original behavior for mixed-channel queues.
+	cross bool
+
+	// refSched selects the original full-rescan FR-FCFS pass (the test
+	// oracle); see SetReferenceScheduler.
+	refSched bool
 
 	// issuedRank is the rank the host issued a command to this cycle
 	// (-1 if none); refreshed each Tick.
 	issuedRank  int
 	issuedIsCol bool
 
-	// seen/seenGen implement a per-Tick visited-bank set without
-	// per-cycle allocation.
+	// seen/seenGen implement the reference scheduler's per-Tick
+	// visited-bank set without per-cycle allocation.
 	seen    []int64
 	seenGen int64
 
@@ -73,54 +117,109 @@ type Controller struct {
 
 // NewController builds a controller for the given channel.
 func NewController(cfg Config, mem *dram.Mem, mapper addrmap.Mapper, channel int) *Controller {
-	return &Controller{
+	nb := mem.Geom.Channels * mem.Geom.Ranks * mem.Geom.BanksPerRank()
+	c := &Controller{
 		cfg: cfg, mem: mem, mapper: mapper, channel: channel,
+		bpr:        mem.Geom.BanksPerRank(),
+		nrank:      mem.Geom.Ranks,
 		issuedRank: -1,
-		seen:       make([]int64, mem.Geom.Ranks*mem.Geom.BanksPerRank()),
+		seen:       make([]int64, nb),
 		IdleHists:  make([]stats.IdleHist, mem.Geom.Ranks),
+		stScratch:  make([]int64, mem.Geom.Ranks),
+		busScratch: make([]int64, mem.Geom.Ranks),
 	}
+	c.rq.init(mem.Geom.Channels*mem.Geom.Ranks, c.bpr)
+	c.wq.init(mem.Geom.Channels*mem.Geom.Ranks, c.bpr)
+	for i := 0; i < cfg.ReadQueue+cfg.WriteQueue; i++ {
+		c.free = &Request{qnext: c.free}
+	}
+	return c
 }
+
+// SetReferenceScheduler switches the controller to the original
+// full-rescan FR-FCFS implementation. It exists as the oracle for the
+// scheduler equivalence tests; the bucketed path is the production one.
+func (c *Controller) SetReferenceScheduler(on bool) { c.refSched = on }
 
 // Channel returns the channel index this controller owns.
 func (c *Controller) Channel() int { return c.channel }
 
+// alloc pops a pooled request node (or grows the pool).
+func (c *Controller) alloc(addr uint64, daddr dram.Addr, write bool, now int64, done func(int64)) *Request {
+	r := c.free
+	if r != nil {
+		c.free = r.qnext
+		*r = Request{}
+	} else {
+		r = &Request{}
+	}
+	r.Addr, r.DAddr, r.Write, r.Arrive, r.Done = addr, daddr, write, now, done
+	r.bankKey = int32((daddr.Channel*c.nrank+daddr.Rank)*c.bpr + daddr.GlobalBank(c.mem.Geom))
+	if daddr.Channel != c.channel {
+		c.cross = true
+	}
+	return r
+}
+
+// release returns a retired request node to the pool.
+func (c *Controller) release(r *Request) {
+	*r = Request{qnext: c.free}
+	c.free = r
+}
+
 // EnqueueRead adds a read; done fires at data-available time.
 // It returns false when the read queue is full.
 func (c *Controller) EnqueueRead(addr uint64, now int64, done func(int64)) bool {
-	if len(c.rq) >= c.cfg.ReadQueue {
+	return c.EnqueueReadDecoded(addr, c.mapper.Decode(addr), now, done)
+}
+
+// EnqueueReadDecoded is EnqueueRead for callers that already decoded the
+// address (the router decodes to route; re-decoding per request is
+// measurable on the hot path).
+func (c *Controller) EnqueueReadDecoded(addr uint64, daddr dram.Addr, now int64, done func(int64)) bool {
+	if c.rq.n >= c.cfg.ReadQueue {
 		return false
 	}
-	c.rq = append(c.rq, &Request{Addr: addr, DAddr: c.mapper.Decode(addr), Arrive: now, Done: done})
+	r := c.alloc(addr, daddr, false, now, done)
+	r.seq = c.seqGen
+	c.seqGen++
+	c.rq.push(r)
 	return true
 }
 
 // EnqueueWrite adds a writeback. Overflow beyond the write queue is
 // buffered (never refused) to keep eviction handling simple.
 func (c *Controller) EnqueueWrite(addr uint64, now int64) bool {
-	r := &Request{Addr: addr, DAddr: c.mapper.Decode(addr), Write: true, Arrive: now}
-	if len(c.wq) >= c.cfg.WriteQueue {
-		c.overflow = append(c.overflow, r)
-		return true
-	}
-	c.wq = append(c.wq, r)
+	c.EnqueueWriteDecoded(addr, c.mapper.Decode(addr), now)
 	return true
+}
+
+// EnqueueWriteDecoded is EnqueueWrite with a pre-decoded address.
+func (c *Controller) EnqueueWriteDecoded(addr uint64, daddr dram.Addr, now int64) {
+	c.pushWrite(c.alloc(addr, daddr, true, now, nil))
 }
 
 // EnqueueControl submits an NDA launch packet: a write transaction to the
 // rank's control registers that occupies the command/data channel like
 // any host write (Section V). done fires when the write issues.
 func (c *Controller) EnqueueControl(daddr dram.Addr, now int64, done func(int64)) {
-	r := &Request{DAddr: daddr, Write: true, Arrive: now, Done: done}
-	if len(c.wq) >= c.cfg.WriteQueue {
-		c.overflow = append(c.overflow, r)
+	c.pushWrite(c.alloc(0, daddr, true, now, done))
+}
+
+// pushWrite routes a write into the write queue or the overflow buffer.
+func (c *Controller) pushWrite(r *Request) {
+	if c.wq.n >= c.cfg.WriteQueue {
+		c.overflow.Push(r)
 		return
 	}
-	c.wq = append(c.wq, r)
+	r.seq = c.seqGen
+	c.seqGen++
+	c.wq.push(r)
 }
 
 // QueueOccupancy returns current read/write queue lengths.
 func (c *Controller) QueueOccupancy() (reads, writes int) {
-	return len(c.rq), len(c.wq) + len(c.overflow)
+	return c.rq.n, c.wq.n + c.overflow.Len()
 }
 
 // HostIssuedRank returns the rank the host issued any command to this
@@ -130,23 +229,19 @@ func (c *Controller) HostIssuedRank() int { return c.issuedRank }
 // OldestReadRank implements the next-rank predictor input: the rank of
 // the oldest outstanding read in this channel's transaction queue.
 func (c *Controller) OldestReadRank() (rank int, ok bool) {
-	if len(c.rq) == 0 {
+	if c.rq.head == nil {
 		return 0, false
 	}
-	return c.rq[0].DAddr.Rank, true
+	return c.rq.head.DAddr.Rank, true
 }
 
 // HasDemandFor reports whether any queued host request targets the given
-// rank and bank (used to give host row commands priority over NDA row
-// commands, Section III-B).
+// rank and bank on any channel (used to give host row commands priority
+// over NDA row commands, Section III-B). O(channels) bucket-occupancy
+// reads — effectively O(1).
 func (c *Controller) HasDemandFor(rank, flatBank int) bool {
-	for _, r := range c.rq {
-		if r.DAddr.Rank == rank && r.DAddr.GlobalBank(c.mem.Geom) == flatBank {
-			return true
-		}
-	}
-	for _, r := range c.wq {
-		if r.DAddr.Rank == rank && r.DAddr.GlobalBank(c.mem.Geom) == flatBank {
+	for key := rank*c.bpr + flatBank; key < len(c.rq.banks); key += c.nrank * c.bpr {
+		if c.rq.banks[key].n > 0 || c.wq.banks[key].n > 0 {
 			return true
 		}
 	}
@@ -154,14 +249,10 @@ func (c *Controller) HasDemandFor(rank, flatBank int) bool {
 }
 
 // HasAnyDemandFor reports whether any queued request targets the rank.
+// O(channels) counter reads — effectively O(1).
 func (c *Controller) HasAnyDemandFor(rank int) bool {
-	for _, r := range c.rq {
-		if r.DAddr.Rank == rank {
-			return true
-		}
-	}
-	for _, r := range c.wq {
-		if r.DAddr.Rank == rank {
+	for g := rank; g < len(c.rq.rankN); g += c.nrank {
+		if c.rq.rankN[g] > 0 || c.wq.rankN[g] > 0 {
 			return true
 		}
 	}
@@ -169,21 +260,115 @@ func (c *Controller) HasAnyDemandFor(rank int) bool {
 }
 
 // NextEvent returns the earliest DRAM cycle >= now at which the
-// controller can change state. With any request queued the controller
-// must run every cycle (FR-FCFS re-evaluates the whole queue against
-// per-bank timing each cycle); with all queues empty only the refresh
-// deadline, when refresh is enabled, can wake it.
+// controller can change observable state. With all queues empty only the
+// refresh deadline (when refresh is enabled) can wake it. With requests
+// queued it reports the earliest cycle any FR-FCFS candidate's command
+// can legally issue — when every queued request is timing-blocked that
+// horizon lies beyond now, and every cycle before it is provably a
+// scheduler no-op, extending fast-forward into write-drain and
+// launch-heavy windows. Cycles where Tick performs internal bookkeeping
+// (overflow refill, drain-watermark flips, refresh interleaving) report
+// now.
 func (c *Controller) NextEvent(now int64) int64 {
-	if len(c.rq) > 0 || len(c.wq) > 0 || len(c.overflow) > 0 {
-		return now
-	}
-	if c.mem.T.REFI > 0 {
-		if c.nextRefresh > now {
-			return c.nextRefresh
+	if c.rq.n == 0 && c.wq.n == 0 && c.overflow.Len() == 0 {
+		if c.mem.T.REFI > 0 {
+			if c.nextRefresh > now {
+				return c.nextRefresh
+			}
+			return now
 		}
+		return dram.Never
+	}
+	if c.mem.T.REFI > 0 || c.cross {
+		// Refresh interleaves with scheduling (and mixed-channel queues
+		// run the rescan); stay cycle-exact.
 		return now
 	}
-	return dram.Never
+	if c.overflow.Len() > 0 && c.wq.n < c.cfg.WriteQueue {
+		return now // next Tick refills the write queue
+	}
+	if (!c.drain && c.wq.n >= c.cfg.DrainHigh) || (c.drain && c.wq.n <= c.cfg.DrainLow) {
+		return now // next Tick flips drain hysteresis (Drains counter)
+	}
+	h := min(c.queueHorizon(&c.rq, false, now), c.queueHorizon(&c.wq, true, now))
+	if h <= now || h == dram.Never {
+		return now
+	}
+	return h
+}
+
+// queueHorizon bounds when any of the queue's FR-FCFS candidates (pass-1
+// row hits and pass-2 row commands) can first issue, assuming no
+// intervening commands: the minimum over the per-bank entries' ready
+// cycles. Requests blocked structurally on another request's progress
+// (row kept open for an older hit) are covered by that request's own
+// candidate horizon.
+func (c *Controller) queueHorizon(q *reqQueue, writes bool, now int64) int64 {
+	cmd := dram.CmdRD
+	if writes {
+		cmd = dram.CmdWR
+	}
+	h := dram.Never
+	for _, bk := range q.occ {
+		e := c.entry(q, bk, cmd)
+		if e.p1 != nil {
+			a := &e.p1.DAddr
+			h = min(h, max(e.p1Rank, c.mem.ExtColReady(a.Channel, cmd, a.Rank)))
+		}
+		if e.p2 != nil {
+			h = min(h, e.p2Rank)
+		}
+	}
+	return h
+}
+
+// entry returns the queue's scheduling-cache entry for the occupied
+// bank, recomputing it if the bucket changed or a command issued to the
+// bank's rank since it was derived.
+func (c *Controller) entry(q *reqQueue, bk int32, cmd dram.Command) *bankEntry {
+	e := &q.sched[bk]
+	head := q.banks[bk].head
+	st := c.mem.RankStamp(head.DAddr.Channel, head.DAddr.Rank)
+	if e.dirty || e.rkStamp != st {
+		c.recomputeEntry(q, e, bk, cmd, st)
+	}
+	return e
+}
+
+// recomputeEntry re-derives one bank's candidates (see bankEntry). All
+// timing inputs come from one BankSched read; ready cycles are raw
+// horizons (the callers' <= now compares make clamping unnecessary).
+func (c *Controller) recomputeEntry(q *reqQueue, e *bankEntry, bk int32, cmd dram.Command, st int64) {
+	bl := &q.banks[bk]
+	head := bl.head
+	a := &head.DAddr
+	e.p1, e.p2 = nil, nil
+	row, open, readyACT, readyPRE, readyRD, readyWR := c.mem.BankSched(
+		a.Channel, a.Rank, a.BankGroup, int(bk)%c.bpr)
+	if !open {
+		e.p2, e.p2Cmd = head, dram.CmdACT
+		e.p2Rank = readyACT
+	} else {
+		for r := bl.head; r != nil; r = r.bnext {
+			if r.DAddr.Row == row {
+				// Rank-side bound only; the channel bus is checked per
+				// cycle through ExtColReady.
+				e.p1 = r
+				if cmd == dram.CmdRD {
+					e.p1Rank = readyRD
+				} else {
+					e.p1Rank = readyWR
+				}
+				break
+			}
+		}
+		if a.Row != row {
+			e.p2, e.p2Cmd, e.p2Row = head, dram.CmdPRE, row
+			e.p2Rank = readyPRE
+		}
+	}
+	e.dirty = false
+	e.rkStamp = st
 }
 
 // Tick advances the controller one DRAM cycle, issuing at most one
@@ -199,42 +384,130 @@ func (c *Controller) Tick(now int64) {
 	}
 
 	// Refill the write queue from the overflow buffer.
-	for len(c.overflow) > 0 && len(c.wq) < c.cfg.WriteQueue {
-		c.wq = append(c.wq, c.overflow[0])
-		c.overflow = c.overflow[1:]
+	for c.overflow.Len() > 0 && c.wq.n < c.cfg.WriteQueue {
+		r := c.overflow.Pop()
+		r.seq = c.seqGen
+		c.seqGen++
+		c.wq.push(r)
 	}
 
 	// Write-drain mode hysteresis.
-	if !c.drain && len(c.wq) >= c.cfg.DrainHigh {
+	if !c.drain && c.wq.n >= c.cfg.DrainHigh {
 		c.drain = true
 		c.Drains++
 	}
-	if c.drain && len(c.wq) <= c.cfg.DrainLow {
+	if c.drain && c.wq.n <= c.cfg.DrainLow {
 		c.drain = false
 	}
 
-	useWrites := c.drain || (len(c.rq) == 0 && len(c.wq) > 0)
+	useWrites := c.drain || (c.rq.n == 0 && c.wq.n > 0)
 	if useWrites {
-		if c.schedule(c.wq, now, true) {
+		if c.schedule(&c.wq, now, true) {
 			return
 		}
 		// Fall through: if no write can issue, try reads anyway.
-		c.schedule(c.rq, now, false)
+		c.schedule(&c.rq, now, false)
 		return
 	}
-	if c.schedule(c.rq, now, false) {
+	if c.schedule(&c.rq, now, false) {
 		return
 	}
 	// Opportunistic writes when no read can make progress.
-	c.schedule(c.wq, now, true)
+	c.schedule(&c.wq, now, true)
 }
 
 // schedule applies FR-FCFS to the given queue: first a ready row-hit
-// column command in arrival order, then a row command (ACT or PRE) for
-// the oldest request per bank. Returns true if a command issued.
-func (c *Controller) schedule(q []*Request, now int64, writes bool) bool {
-	// Pass 1: ready column commands (row hits).
-	for i, r := range q {
+// column command in oldest-first order, then a row command (ACT or PRE)
+// for the oldest request per bank. Returns true if a command issued.
+//
+// It walks the occupied-bank entries (see bankEntry): pass 1's only
+// viable requests are each open bank's oldest row hit (younger hits to
+// the same bank share every timing constraint), pass 2's are the bucket
+// heads (exactly the requests the rescan's visited-bank set selected).
+// A candidate is ready iff now has reached its exact horizon — the
+// cached rank-side bound plus, for columns, the O(1) channel-bus bound —
+// so "oldest ready" equals the rescan's "first in arrival order passing
+// CanIssue".
+func (c *Controller) schedule(q *reqQueue, now int64, writes bool) bool {
+	if q.n == 0 {
+		return false
+	}
+	if c.refSched || c.cross {
+		return c.scheduleRef(q, now, writes)
+	}
+	cmd := dram.CmdRD
+	if writes {
+		cmd = dram.CmdWR
+	}
+	// On the fast path every request shares the controller's channel
+	// (cross harnesses took the rescan above), so the per-rank stamps
+	// and channel-bus horizons hoist out of the bank sweep.
+	base := int32(c.channel * c.nrank)
+	for r := 0; r < c.nrank; r++ {
+		c.stScratch[r] = c.mem.RankStamp(c.channel, r)
+		c.busScratch[r] = c.mem.ExtColReady(c.channel, cmd, r)
+	}
+	// One sweep finds both passes' oldest ready candidates: the row hit
+	// (pass 1) always wins over a row command (pass 2).
+	var best *Request
+	var best2 *bankEntry
+	for _, bk := range q.occ {
+		rank := (bk >> q.shift) - base
+		e := &q.sched[bk]
+		if e.dirty || e.rkStamp != c.stScratch[rank] {
+			c.recomputeEntry(q, e, bk, cmd, c.stScratch[rank])
+		}
+		if r := e.p1; r != nil && e.p1Rank <= now &&
+			(best == nil || r.seq < best.seq) && c.busScratch[rank] <= now {
+			best = r
+		}
+		if e.p2 != nil && e.p2Rank <= now && (best2 == nil || e.p2.seq < best2.p2.seq) {
+			best2 = e
+		}
+	}
+	if best != nil {
+		c.issueColumn(cmd, best, q, now, writes)
+		return true
+	}
+	// Pass 2: row commands in age order among the ready candidates. A
+	// PRE re-checks rowWanted at issue time (the open-page policy may
+	// have gained a waiter from the other queue since the entry was
+	// derived); on a skip the sweep resumes at the next-oldest ready
+	// candidate.
+	lastSeq := int64(-1)
+	for best2 != nil {
+		r := best2.p2
+		if best2.p2Cmd == dram.CmdPRE && c.rowWanted(r.DAddr, best2.p2Row) {
+			lastSeq = r.seq
+			best2 = nil
+			for _, bk := range q.occ {
+				e := &q.sched[bk] // validated by the sweep above
+				if e.p2 == nil || e.p2Rank > now || e.p2.seq <= lastSeq {
+					continue
+				}
+				if best2 == nil || e.p2.seq < best2.p2.seq {
+					best2 = e
+				}
+			}
+			continue
+		}
+		c.mem.Issue(best2.p2Cmd, r.DAddr, now, false)
+		if best2.p2Cmd == dram.CmdPRE {
+			c.PresIssued++
+		} else {
+			c.ActsIssued++
+		}
+		c.markRowCmd(r.DAddr, now)
+		return true
+	}
+	return false
+}
+
+// scheduleRef is the original O(queue)-per-cycle FR-FCFS rescan, kept as
+// the oracle for the scheduler equivalence tests.
+func (c *Controller) scheduleRef(q *reqQueue, now int64, writes bool) bool {
+	// Pass 1: ready column commands (row hits), in arrival order.
+	for r := q.head; r != nil; r = r.qnext {
 		row, open := c.mem.OpenRow(r.DAddr)
 		if !open || row != r.DAddr.Row {
 			continue
@@ -246,26 +519,26 @@ func (c *Controller) schedule(q []*Request, now int64, writes bool) bool {
 		if !c.mem.CanIssue(cmd, r.DAddr, now, false) {
 			continue
 		}
-		c.issueColumn(cmd, r, i, now, writes)
+		c.issueColumn(cmd, r, q, now, writes)
 		return true
 	}
 	// Pass 2: row commands for the oldest request in each conflicting
 	// bank, in arrival order.
 	c.seenGen++
-	for _, r := range q {
-		bankKey := r.DAddr.Rank*c.mem.Geom.BanksPerRank() + r.DAddr.GlobalBank(c.mem.Geom)
-		if c.seen[bankKey] == c.seenGen {
+	for r := q.head; r != nil; r = r.qnext {
+		// The seed's visited-bank key deliberately omits the channel;
+		// mixed-channel behavior (cross harnesses) depends on it.
+		seedKey := r.DAddr.Rank*c.bpr + r.DAddr.GlobalBank(c.mem.Geom)
+		if c.seen[seedKey] == c.seenGen {
 			continue
 		}
-		c.seen[bankKey] = c.seenGen
+		c.seen[seedKey] = c.seenGen
 		row, open := c.mem.OpenRow(r.DAddr)
 		if open && row == r.DAddr.Row {
 			continue // column blocked only by timing; wait
 		}
 		if open {
-			// Conflict: precharge unless an earlier request still
-			// wants the open row.
-			if c.rowWanted(r.DAddr, row) {
+			if c.rowWantedRef(r.DAddr, row) {
 				continue
 			}
 			if c.mem.CanIssue(dram.CmdPRE, r.DAddr, now, false) {
@@ -287,18 +560,35 @@ func (c *Controller) schedule(q []*Request, now int64, writes bool) bool {
 }
 
 // rowWanted reports whether any queued request still targets the open row
-// of the same bank (open-page policy keeps it open for them).
+// of the same bank (open-page policy keeps it open for them). It scans
+// the bank's buckets in both queues — O(per-bank occupancy).
 func (c *Controller) rowWanted(a dram.Addr, openRow int) bool {
+	key := int32((a.Channel*c.nrank + a.Rank) * c.bpr + a.GlobalBank(c.mem.Geom))
+	for r := c.rq.banks[key].head; r != nil; r = r.bnext {
+		if r.DAddr.Row == openRow {
+			return true
+		}
+	}
+	for r := c.wq.banks[key].head; r != nil; r = r.bnext {
+		if r.DAddr.Row == openRow {
+			return true
+		}
+	}
+	return false
+}
+
+// rowWantedRef is the original whole-queue scan, used by scheduleRef.
+func (c *Controller) rowWantedRef(a dram.Addr, openRow int) bool {
 	match := func(r *Request) bool {
 		return r.DAddr.Rank == a.Rank && r.DAddr.BankGroup == a.BankGroup &&
 			r.DAddr.Bank == a.Bank && r.DAddr.Row == openRow
 	}
-	for _, r := range c.rq {
+	for r := c.rq.head; r != nil; r = r.qnext {
 		if match(r) {
 			return true
 		}
 	}
-	for _, r := range c.wq {
+	for r := c.wq.head; r != nil; r = r.qnext {
 		if match(r) {
 			return true
 		}
@@ -306,32 +596,30 @@ func (c *Controller) rowWanted(a dram.Addr, openRow int) bool {
 	return false
 }
 
-func (c *Controller) issueColumn(cmd dram.Command, r *Request, idx int, now int64, write bool) {
+func (c *Controller) issueColumn(cmd dram.Command, r *Request, q *reqQueue, now int64, write bool) {
 	c.mem.Issue(cmd, r.DAddr, now, false)
 	c.issuedRank = r.DAddr.Rank
 	c.issuedIsCol = true
+	q.remove(r)
 	var dataStart, dataEnd int64
 	if write {
 		c.WritesIssued++
 		dataStart = now + int64(c.mem.T.CWL)
 		dataEnd = now + c.mem.WriteLatency()
-		c.wq = append(c.wq[:idx], c.wq[idx+1:]...)
-		if r.Done != nil {
-			r.Done(dataEnd)
-		}
 	} else {
 		c.ReadsIssued++
 		dataStart = now + int64(c.mem.T.CL)
 		dataEnd = now + c.mem.ReadLatency()
 		c.ReadLatencySum += dataEnd - r.Arrive
-		c.rq = append(c.rq[:idx], c.rq[idx+1:]...)
-		if r.Done != nil {
-			r.Done(dataEnd)
-		}
 	}
 	// The rank counts as host-busy during the data burst; the CAS-wait
 	// window remains available to NDA column commands.
 	c.IdleHists[r.DAddr.Rank].MarkBusy(dataStart, dataEnd)
+	done := r.Done
+	c.release(r)
+	if done != nil {
+		done(dataEnd)
+	}
 }
 
 // markRowCmd records host activity on a rank for a row command.

@@ -1,0 +1,161 @@
+package mc
+
+import "chopim/internal/dram"
+
+// Bucketed transaction queues. Each queue keeps its requests on two
+// intrusive doubly-linked lists at once:
+//
+//   - an arrival list (head..tail, FR-FCFS age order, the order the old
+//     slice-based scheduler scanned), and
+//   - a per-(rank, flat-bank) bucket list, also age-ordered.
+//
+// Together with per-rank and per-bank occupancy counters this makes the
+// per-cycle coordination hooks O(1) (HasDemandFor, HasAnyDemandFor,
+// OldestReadRank) and both FR-FCFS passes O(occupied banks): pass 1's
+// candidates are each bank's oldest row hit, pass 2's are the bucket
+// heads, and rowWanted scans one bucket instead of both whole queues.
+//
+// Request nodes come from a per-controller free list, so the steady-state
+// tick loop allocates nothing; unlinking is O(1) from any position (a
+// column command retires a request from the middle of the age order).
+
+// bankList is one (channel, rank, flat-bank) bucket: the queue's requests
+// for that bank in age order.
+type bankList struct {
+	head, tail *Request
+	n          int
+}
+
+// reqQueue is one transaction queue (read or write side).
+type reqQueue struct {
+	head, tail *Request
+	n          int
+	shift      uint // log2(banks per rank group): bankKey >> shift = rank group
+
+	banks  []bankList  // indexed by Request.bankKey
+	sched  []bankEntry // per-bank scheduling cache, same index
+	rankN  []int       // queued requests per (channel, rank) group
+	occ    []int32     // occupied bank keys, unordered (swap-removed)
+	occPos []int32     // bankKey -> index into occ, -1 when absent
+}
+
+func (q *reqQueue) init(rankGroups, banksPerRank int) {
+	nb := rankGroups * banksPerRank
+	for 1<<q.shift < banksPerRank {
+		q.shift++ // geometry fields are validated powers of two
+	}
+	q.banks = make([]bankList, nb)
+	q.sched = make([]bankEntry, nb)
+	for i := range q.sched {
+		q.sched[i].dirty = true
+	}
+	q.rankN = make([]int, rankGroups)
+	q.occ = make([]int32, 0, nb)
+	q.occPos = make([]int32, nb)
+	for i := range q.occPos {
+		q.occPos[i] = -1
+	}
+}
+
+// push appends r to the queue (age order) and its bank bucket.
+func (q *reqQueue) push(r *Request) {
+	q.sched[r.bankKey].dirty = true
+	r.qnext, r.qprev = nil, q.tail
+	if q.tail != nil {
+		q.tail.qnext = r
+	} else {
+		q.head = r
+	}
+	q.tail = r
+	q.n++
+	q.rankN[r.bankKey>>q.shift]++
+
+	bl := &q.banks[r.bankKey]
+	r.bnext, r.bprev = nil, bl.tail
+	if bl.tail != nil {
+		bl.tail.bnext = r
+	} else {
+		bl.head = r
+		q.occPos[r.bankKey] = int32(len(q.occ))
+		q.occ = append(q.occ, r.bankKey)
+	}
+	bl.tail = r
+	bl.n++
+}
+
+// remove unlinks r from the queue and its bank bucket.
+func (q *reqQueue) remove(r *Request) {
+	q.sched[r.bankKey].dirty = true
+	if r.qprev != nil {
+		r.qprev.qnext = r.qnext
+	} else {
+		q.head = r.qnext
+	}
+	if r.qnext != nil {
+		r.qnext.qprev = r.qprev
+	} else {
+		q.tail = r.qprev
+	}
+	q.n--
+	q.rankN[r.bankKey>>q.shift]--
+
+	bl := &q.banks[r.bankKey]
+	if r.bprev != nil {
+		r.bprev.bnext = r.bnext
+	} else {
+		bl.head = r.bnext
+	}
+	if r.bnext != nil {
+		r.bnext.bprev = r.bprev
+	} else {
+		bl.tail = r.bprev
+	}
+	bl.n--
+	if bl.n == 0 {
+		// Swap-remove the bank from the occupied set.
+		i := q.occPos[r.bankKey]
+		last := int32(len(q.occ) - 1)
+		moved := q.occ[last]
+		q.occ[i] = moved
+		q.occPos[moved] = i
+		q.occ = q.occ[:last]
+		q.occPos[r.bankKey] = -1
+	}
+	r.qnext, r.qprev, r.bnext, r.bprev = nil, nil, nil, nil
+}
+
+// bankEntry is one bank's slot in a queue's scheduling cache: the
+// bank's FR-FCFS candidates and the rank-side component of their exact
+// earliest-issue cycles (dram.Mem.NextIssue over bank, bank-group, rank,
+// tFAW, and refresh horizons). An entry is recomputed only when its
+// bucket changes (dirty, set by push/remove) or a command issues to its
+// rank (rkStamp versus dram.Mem.RankStamp — the only way the bank's row
+// state or rank-side horizons move). The channel-bus component of
+// column readiness deliberately stays out: it changes on every external
+// column anywhere on the channel, so it is read per check from the O(1)
+// per-channel cache (dram.Mem.ExtColReady). The cross-queue rowWanted
+// input also stays out: PRE candidates are cached unconditionally and
+// rowWanted is re-evaluated (an O(per-bank occupancy) bucket scan over
+// both queues) only when a PRE is actually about to issue — the same
+// cycle the rescan would have evaluated it. With clean entries, a
+// timing-blocked cycle costs a handful of int64 compares per occupied
+// bank; no CanIssue or OpenRow calls at all.
+type bankEntry struct {
+	dirty   bool
+	rkStamp int64
+
+	// Pass 1: the bank's oldest row hit (nil when the bank is closed or
+	// no queued request matches the open row) and the rank-side bound on
+	// its column command.
+	p1     *Request
+	p1Rank int64
+
+	// Pass 2: the bank head's row command (ACT on a closed bank, PRE on
+	// a row conflict; nil when the head is itself the row hit), its
+	// ready cycle, and the open row for PRE's issue-time rowWanted
+	// re-check.
+	p2     *Request
+	p2Cmd  dram.Command
+	p2Row  int
+	p2Rank int64
+}

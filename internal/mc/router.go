@@ -16,16 +16,18 @@ func NewRouter(ctrls []*Controller, mapper addrmap.Mapper, now func() int64) *Ro
 	return &Router{ctrls: ctrls, mapper: mapper, now: now}
 }
 
-// EnqueueRead implements cache.Backend.
+// EnqueueRead implements cache.Backend. The routing decode is passed
+// through to the controller so the address is decoded once per request.
 func (r *Router) EnqueueRead(addr uint64, done func(int64)) bool {
-	ch := r.mapper.Decode(addr).Channel
-	return r.ctrls[ch].EnqueueRead(addr, r.now(), done)
+	d := r.mapper.Decode(addr)
+	return r.ctrls[d.Channel].EnqueueReadDecoded(addr, d, r.now(), done)
 }
 
 // EnqueueWrite implements cache.Backend.
 func (r *Router) EnqueueWrite(addr uint64) bool {
-	ch := r.mapper.Decode(addr).Channel
-	return r.ctrls[ch].EnqueueWrite(addr, r.now())
+	d := r.mapper.Decode(addr)
+	r.ctrls[d.Channel].EnqueueWriteDecoded(addr, d, r.now())
+	return true
 }
 
 // Controllers returns the underlying per-channel controllers.

@@ -6,6 +6,7 @@ import (
 
 	"chopim/internal/dram"
 	"chopim/internal/mc"
+	"chopim/internal/ring"
 )
 
 // Policy selects the NDA write-throttling mechanism (Section III-B).
@@ -65,6 +66,13 @@ type RankStats struct {
 	OpsCompleted  int64
 }
 
+// wbEntry is one pending result block in the PE write buffer: its
+// address and the op it belongs to.
+type wbEntry struct {
+	addr  dram.Addr
+	owner *Op
+}
+
 // rankFSM is the deterministic per-rank NDA state machine. It is the
 // unit that Section III-D replicates: every transition is a function of
 // (launched op descriptors, host-visible DRAM timing state, host queue
@@ -72,8 +80,7 @@ type RankStats struct {
 // without any NDA-to-host signaling.
 type rankFSM struct {
 	ops      []*Op
-	writeBuf []dram.Addr // pending result blocks (addresses)
-	wrOwner  []*Op       // op owning each pending write
+	wb       ring.Ring[wbEntry] // pending result blocks (FIFO, allocation-free once warmed)
 	draining bool
 	readsRun int // reads completed toward the current batch
 	rng      *rand.Rand
@@ -84,7 +91,7 @@ type rankFSM struct {
 // snapshot summarizes observable FSM state for replica comparison.
 func (f *rankFSM) snapshot() string {
 	return fmt.Sprintf("ops=%d wb=%d drain=%v reads=%d rd=%d wr=%d",
-		len(f.ops), len(f.writeBuf), f.draining, f.readsRun,
+		len(f.ops), f.wb.Len(), f.draining, f.readsRun,
 		f.stats.BlocksRead, f.stats.BlocksWritten)
 }
 
@@ -173,7 +180,7 @@ func (e *Engine) Launch(channel, rank int, makeOp func() *Op) {
 func (e *Engine) Busy() bool {
 	for _, row := range e.Ranks {
 		for _, n := range row {
-			if len(n.fsm.ops) > 0 || len(n.fsm.writeBuf) > 0 {
+			if len(n.fsm.ops) > 0 || n.fsm.wb.Len() > 0 {
 				return true
 			}
 		}
@@ -202,7 +209,7 @@ func (e *Engine) NextEvent(now int64) int64 {
 	next := dram.Never
 	for _, row := range e.Ranks {
 		for _, n := range row {
-			if len(n.fsm.ops) == 0 && len(n.fsm.writeBuf) == 0 {
+			if len(n.fsm.ops) == 0 && n.fsm.wb.Len() == 0 {
 				continue
 			}
 			// The tick-time cache is authoritative: it was computed
@@ -225,16 +232,16 @@ func (e *Engine) NextEvent(now int64) int64 {
 // policy-stall counter bump, a state-flag flip, or op completion).
 func (n *RankNDA) nextEvent(now int64) int64 {
 	f := &n.fsm
-	if len(f.ops) == 0 && len(f.writeBuf) == 0 {
+	if len(f.ops) == 0 && f.wb.Len() == 0 {
 		return dram.Never
 	}
 	wantWrite := false
 	switch {
-	case len(f.writeBuf) >= n.cfg.WriteBufCap:
+	case f.wb.Len() >= n.cfg.WriteBufCap:
 		wantWrite = true
-	case f.draining && len(f.writeBuf) > 0:
+	case f.draining && f.wb.Len() > 0:
 		wantWrite = true
-	case len(f.writeBuf) > 0 && (len(f.ops) == 0 || f.ops[0].exhausted):
+	case f.wb.Len() > 0 && (len(f.ops) == 0 || f.ops[0].exhausted):
 		wantWrite = true
 	}
 	if wantWrite {
@@ -246,10 +253,10 @@ func (n *RankNDA) nextEvent(now int64) int64 {
 				return now // StallsPolicy advances each inhibited cycle
 			}
 		}
-		return n.accessEvent(dram.CmdWR, f.writeBuf[0], now)
+		return n.accessEvent(dram.CmdWR, f.wb.Front().addr, now)
 	}
 	op := f.ops[0]
-	if op.Kind.WritesResult() && len(f.writeBuf) > n.cfg.WriteBufCap-BatchBlocks {
+	if op.Kind.WritesResult() && f.wb.Len() > n.cfg.WriteBufCap-BatchBlocks {
 		return now // backpressure flips draining on the next tick
 	}
 	a, ok := op.PeekRead()
@@ -315,7 +322,7 @@ func (e *Engine) TotalStats() RankStats {
 // cache because it can change FSM decisions (yield, next-rank inhibit,
 // row-command demand priority) and their stall counters.
 func (n *RankNDA) tick(now int64, hostIssuedRank int, fastForward bool) {
-	if len(n.fsm.ops) == 0 && len(n.fsm.writeBuf) == 0 {
+	if len(n.fsm.ops) == 0 && n.fsm.wb.Len() == 0 {
 		return
 	}
 	if fastForward {
@@ -367,12 +374,12 @@ func (n *RankNDA) stepFSM(f *rankFSM, now int64, hostIssuedRank int, apply bool)
 	}
 	wantWrite := false
 	switch {
-	case len(f.writeBuf) >= n.cfg.WriteBufCap:
+	case f.wb.Len() >= n.cfg.WriteBufCap:
 		f.draining = true
 		wantWrite = true
-	case f.draining && len(f.writeBuf) > 0:
+	case f.draining && f.wb.Len() > 0:
 		wantWrite = true
-	case len(f.writeBuf) > 0 && (len(f.ops) == 0 || f.ops[0].exhausted):
+	case f.wb.Len() > 0 && (len(f.ops) == 0 || f.ops[0].exhausted):
 		// Tail flush: no more reads to overlap with.
 		f.draining = true
 		wantWrite = true
@@ -390,7 +397,8 @@ func (n *RankNDA) stepFSM(f *rankFSM, now int64, hostIssuedRank int, apply bool)
 
 // tryWrite attempts to issue the head write-buffer entry.
 func (n *RankNDA) tryWrite(f *rankFSM, now int64, apply bool) {
-	a := f.writeBuf[0]
+	front := f.wb.Front()
+	a, owner := front.addr, front.owner
 	// Policy throttling applies to writes only.
 	switch n.cfg.Policy {
 	case Stochastic:
@@ -407,9 +415,7 @@ func (n *RankNDA) tryWrite(f *rankFSM, now int64, apply bool) {
 	if !n.access(f, dram.CmdWR, a, now, apply) {
 		return
 	}
-	owner := f.wrOwner[0]
-	f.writeBuf = f.writeBuf[1:]
-	f.wrOwner = f.wrOwner[1:]
+	f.wb.Pop()
 	f.stats.BlocksWritten++
 	owner.pendingWr--
 	n.maybeComplete(f, owner, now)
@@ -420,7 +426,7 @@ func (n *RankNDA) tryWrite(f *rankFSM, now int64, apply bool) {
 func (n *RankNDA) tryRead(f *rankFSM, now int64, apply bool) {
 	op := f.ops[0]
 	// Backpressure: a full batch of results must fit in the buffer.
-	if op.Kind.WritesResult() && len(f.writeBuf) > n.cfg.WriteBufCap-BatchBlocks {
+	if op.Kind.WritesResult() && f.wb.Len() > n.cfg.WriteBufCap-BatchBlocks {
 		f.draining = true
 		return
 	}
@@ -455,8 +461,7 @@ func (n *RankNDA) emitWrites(f *rankFSM, op *Op, k int) {
 		if !ok {
 			break
 		}
-		f.writeBuf = append(f.writeBuf, a)
-		f.wrOwner = append(f.wrOwner, op)
+		f.wb.Push(wbEntry{addr: a, owner: op})
 		op.pendingWr++
 	}
 }
@@ -472,13 +477,14 @@ func (n *RankNDA) maybeComplete(f *rankFSM, op *Op, now int64) {
 	if op.Writes != nil {
 		// The write iterator must be fully drained too.
 		if a, ok := op.Writes(); ok {
-			f.writeBuf = append(f.writeBuf, a)
-			f.wrOwner = append(f.wrOwner, op)
+			f.wb.Push(wbEntry{addr: a, owner: op})
 			op.pendingWr++
 			return
 		}
 	}
-	f.ops = f.ops[1:]
+	k := copy(f.ops, f.ops[1:])
+	f.ops[k] = nil
+	f.ops = f.ops[:k]
 	f.readsRun = 0
 	f.stats.OpsCompleted++
 	if op.Done != nil {

@@ -1,0 +1,51 @@
+// Package ring provides a growable FIFO ring buffer. The simulator's
+// hot loops (controller write-overflow, NDA write buffer) use it so
+// steady-state enqueue/dequeue never allocates or re-slices: capacity
+// grows geometrically on demand and is then reused forever.
+package ring
+
+// Ring is a FIFO of T. The zero value is ready to use.
+type Ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// Len returns the number of queued elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Push appends v, growing the backing array when full.
+func (r *Ring[T]) Push(v T) {
+	if r.n == len(r.buf) {
+		size := len(r.buf) * 2
+		if size < 64 {
+			size = 64
+		}
+		grown := make([]T, size)
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// Front returns the oldest element; it panics on an empty ring.
+func (r *Ring[T]) Front() T {
+	if r.n == 0 {
+		panic("ring: Front on empty ring")
+	}
+	return r.buf[r.head]
+}
+
+// Pop removes and returns the oldest element, zeroing its slot so the
+// ring never retains references past dequeue.
+func (r *Ring[T]) Pop() T {
+	v := r.Front()
+	var zero T
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}

@@ -1,0 +1,53 @@
+package ring
+
+import "testing"
+
+// TestFIFOAcrossGrowthAndWrap checks ordering through interleaved
+// push/pop cycles that force both wrap-around and mid-stream growth.
+func TestFIFOAcrossGrowthAndWrap(t *testing.T) {
+	var r Ring[int]
+	next, want := 0, 0
+	push := func(k int) {
+		for i := 0; i < k; i++ {
+			r.Push(next)
+			next++
+		}
+	}
+	pop := func(k int) {
+		t.Helper()
+		for i := 0; i < k; i++ {
+			if got := r.Front(); got != want {
+				t.Fatalf("Front = %d, want %d", got, want)
+			}
+			if got := r.Pop(); got != want {
+				t.Fatalf("Pop = %d, want %d", got, want)
+			}
+			want++
+		}
+	}
+	push(10)
+	pop(7) // head advances: subsequent pushes wrap
+	push(60)
+	pop(20)
+	push(200) // forces growth with a wrapped head
+	pop(r.Len())
+	if r.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", r.Len())
+	}
+	if next != want {
+		t.Fatalf("popped %d values, pushed %d", want, next)
+	}
+}
+
+// TestZeroOnPop ensures dequeued slots drop their references.
+func TestZeroOnPop(t *testing.T) {
+	var r Ring[*int]
+	v := new(int)
+	r.Push(v)
+	if r.Pop() != v {
+		t.Fatal("Pop returned wrong element")
+	}
+	if r.buf[0] != nil {
+		t.Fatal("Pop left a reference in the vacated slot")
+	}
+}

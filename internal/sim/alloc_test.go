@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"testing"
+
+	"chopim/internal/apps"
+	"chopim/internal/ndart"
+)
+
+// TestTickLoopAllocFree pins the allocation-free steady-state contract
+// of the tick loop: once a mixed host+NDA system is warmed (pools sized,
+// caches filled, write drains established), advancing the clock performs
+// zero heap allocations. Every hot-path allocation — controller request
+// nodes, LLC MSHRs and their fill callbacks, core completion callbacks,
+// the NDA write buffer — comes from a pool or a preallocated ring.
+// CI fails on any regression here; the companion BenchmarkMixedHostNDA
+// reports the same property as allocs/op.
+func TestTickLoopAllocFree(t *testing.T) {
+	s, err := New(Default(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// COPY exercises both the NDA read and write-buffer paths; the
+	// operand is sized so one launch outlives warm-up plus measurement.
+	app, err := apps.NewMicroPlaced(s.RT, "copy", (4<<20)/4, ndart.Private)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := app.Iterate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(60_000)
+	if h.Done() {
+		t.Fatal("NDA op finished during warm-up; enlarge the operand")
+	}
+	allocs := testing.AllocsPerRun(5, func() { s.Run(5_000) })
+	if allocs != 0 {
+		t.Fatalf("steady-state tick loop allocated %.1f objects per 5k-cycle window, want 0", allocs)
+	}
+	if h.Done() {
+		t.Fatal("NDA op finished during measurement; enlarge the operand")
+	}
+}

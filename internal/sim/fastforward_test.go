@@ -81,7 +81,25 @@ func ffWorkloads() []ffWorkload {
 			return a.Iterate, nil
 		},
 	}
-	return []ffWorkload{hostOnly, ndaOnly, ndaCopy, mixed}
+	// Shared banks + write-heavy COPY exercises the scheduler paths a
+	// partitioned DOT never hits: host/NDA bank conflicts (HasDemandFor
+	// priority), write drains, and NDA write throttling.
+	mixedShared := ffWorkload{
+		name: "mixed-mix3-copy-shared",
+		cfg: func() Config {
+			c := Default(3)
+			c.Partitioned = false
+			return c
+		},
+		app: func(s *System) (func() (*ndart.Handle, error), error) {
+			a, err := apps.NewMicroPlaced(s.RT, "copy", (128<<10)/4, ndart.Private)
+			if err != nil {
+				return nil, err
+			}
+			return a.Iterate, nil
+		},
+	}
+	return []ffWorkload{hostOnly, ndaOnly, ndaCopy, mixed, mixedShared}
 }
 
 // drive advances sys through segments cycles-long windows, relaunching

@@ -73,6 +73,7 @@ var goldenWant = map[string]string{
 	"nda-only-nrm2":            "ipc=0 blocks=12748 busy=0 rd=0 wr=4 ndard=15914 ndawr=0",
 	"nda-only-copy-stochastic": "ipc=0 blocks=10179 busy=0 rd=0 wr=4 ndard=6639 ndawr=6169",
 	"mixed-mix1-dot":           "ipc=1.0024599877000615 blocks=6130 busy=39062 rd=11002 wr=4 ndard=7551 ndawr=0",
+	"mixed-mix3-copy-shared":   "ipc=1.1588942055289724 blocks=2262 busy=38213 rd=10644 wr=4 ndard=1664 ndawr=1361",
 }
 
 // TestGoldenStats asserts exact HostIPC / NDABlocks / HostBusyCycles

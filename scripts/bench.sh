@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# bench.sh — run the host-path benchmarks and emit a machine-readable
+# snapshot of the perf trajectory (BENCH_PR2.json).
+#
+# Usage: scripts/bench.sh [benchtime] [output.json]
+#   benchtime    go test -benchtime value (default 5x; CI smoke uses 1x)
+#   output.json  destination (default BENCH_PR2.json in the repo root)
+#
+# The script fails if BenchmarkMixedHostNDA reports any steady-state
+# allocations in the tick loop (the allocation-free contract also pinned
+# by TestTickLoopAllocFree).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-5x}"
+OUT="${2:-BENCH_PR2.json}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'BenchmarkMixedHostNDA$|BenchmarkFig11BankPartitioning$' \
+    -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" -v rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
+/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    ns = $3
+    allocs = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    results[name] = "{\"ns_per_op\": " ns ", \"allocs_per_op\": " allocs "}"
+    if (name == "MixedHostNDA" && allocs != "null" && allocs + 0 != 0) {
+        printf "bench.sh: FAIL: MixedHostNDA steady-state tick loop allocates (%s allocs/op, want 0)\n", allocs > "/dev/stderr"
+        bad = 1
+    }
+    order[n++] = name
+}
+END {
+    if (n == 0) { print "bench.sh: no benchmark results parsed" > "/dev/stderr"; exit 1 }
+    printf "{\n"
+    printf "  \"pr\": 2,\n"
+    printf "  \"description\": \"host-traffic hot path: incremental FR-FCFS + cached DRAM horizons + allocation-free tick loop\",\n"
+    printf "  \"git\": \"%s\",\n", rev
+    printf "  \"benchtime\": \"%s\",\n", benchtime
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"baseline_main\": {\n"
+    printf "    \"note\": \"measured at PR2 on main (c3a05e4), same machine/flags, benchtime 5x\",\n"
+    printf "    \"MixedHostNDA\": {\"ns_per_op\": 344651834, \"allocs_per_op\": 1321008},\n"
+    printf "    \"Fig11BankPartitioning\": {\"ns_per_op\": 2055239840, \"allocs_per_op\": null}\n"
+    printf "  },\n"
+    printf "  \"benchmarks\": {\n"
+    for (i = 0; i < n; i++) {
+        printf "    \"%s\": %s%s\n", order[i], results[order[i]], (i < n - 1 ? "," : "")
+    }
+    printf "  }\n"
+    printf "}\n"
+    exit bad
+}' "$RAW" > "$OUT"
+
+echo "bench.sh: wrote $OUT"
