@@ -107,6 +107,18 @@ func (c *Cache) Lookup(block uint64, write bool) bool {
 	return false
 }
 
+// unMiss reverses the counter effects of an immediately preceding Lookup
+// that missed (one Misses increment and one clock advance; a missed
+// Lookup touches no line, so nothing else changed). The hierarchy uses it
+// to keep stalled accesses side-effect-free: an Access that returns Stall
+// is retried every cycle by a blocked core, and those retry probes must
+// leave the caches in exactly the state they found them for the
+// fast-forward machinery to skip the retries.
+func (c *Cache) unMiss() {
+	c.Misses--
+	c.clock--
+}
+
 // Contains probes without side effects.
 func (c *Cache) Contains(block uint64) bool {
 	set, tag := c.index(block)

@@ -88,7 +88,19 @@ type Hierarchy struct {
 	prefetch   []strideState
 	Prefetches int64
 	Demand     int64
+
+	// ver counts mutations that can change a future Access outcome:
+	// fills (cache content, MSHR and L1-pending occupancy) and every
+	// non-Stall Access (insertions, MSHR allocation, merges). Together
+	// with the controllers' queue-space versions it forms the memory
+	// epoch a probe-stalled core's retry outcome depends on: while the
+	// epoch is unchanged, the retry provably stalls again (the Stall
+	// contract on Access) and may be skipped.
+	ver uint64
 }
+
+// Ver returns the hierarchy mutation counter (see ver).
+func (h *Hierarchy) Ver() uint64 { return h.ver }
 
 // allocMSHR pops a pooled MSHR node (or grows the pool).
 func (h *Hierarchy) allocMSHR(core int, block uint64, dirty, prefetch bool) *mshr {
@@ -143,7 +155,17 @@ func (h *Hierarchy) block(addr uint64) uint64 { return addr / uint64(h.cfg.L1.Bl
 // with the completing CPU cycle. Stores that miss allocate (fetch) the
 // line but report Hit: the store buffer hides their latency from the
 // core, while the fetch still generates memory traffic.
+//
+// Stall contract (the core-skip safety argument, DESIGN.md §2.4): an
+// Access that returns Stall leaves the hierarchy bit-identical to the
+// state it found — the three miss lookups it performed are rolled back
+// (stall below), the MSHR pool round-trips through its LIFO free list,
+// and no queue, counter, or replacement state changes. A blocked core
+// therefore re-probes with identical outcome until some other component
+// mutates hierarchy or controller state, so skipping its retry cycles
+// is exact.
 func (h *Hierarchy) Access(core int, addr uint64, write bool, done func(cpuDone int64)) (Result, int64) {
+	h.ver++ // rolled back on Stall; every other outcome mutates state
 	b := h.block(addr)
 	l1, l2 := h.l1[core], h.l2[core]
 
@@ -167,7 +189,7 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool, done func(cpuDone 
 			return Hit, h.cfg.LLC.LatencyCPU
 		}
 		if h.l1Pending[core] >= h.cfg.L1.MSHRs {
-			return Stall, 0
+			return h.stall(core)
 		}
 		h.l1Pending[core]++
 		m.waiters = append(m.waiters, waiter{core: core, done: done})
@@ -175,10 +197,10 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool, done func(cpuDone 
 	}
 
 	if len(h.pending) >= h.cfg.LLC.MSHRs {
-		return Stall, 0
+		return h.stall(core)
 	}
 	if !write && h.l1Pending[core] >= h.cfg.L1.MSHRs {
-		return Stall, 0
+		return h.stall(core)
 	}
 
 	m := h.allocMSHR(core, b, write, false)
@@ -191,7 +213,7 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool, done func(cpuDone 
 			h.l1Pending[core]--
 		}
 		h.freeMSHR(m)
-		return Stall, 0
+		return h.stall(core)
 	}
 	h.pending[b] = m
 	h.Demand++
@@ -202,11 +224,23 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool, done func(cpuDone 
 	return Queued, 0
 }
 
+// stall rolls back the three miss lookups a stalling Access performed
+// (every Stall path misses L1, L2, and the LLC first) and reports Stall.
+// See the Stall contract on Access.
+func (h *Hierarchy) stall(core int) (Result, int64) {
+	h.ver--
+	h.l1[core].unMiss()
+	h.l2[core].unMiss()
+	h.llc.unMiss()
+	return Stall, 0
+}
+
 // onFill handles data arriving from memory for the MSHR's block at DRAM
 // cycle dramDone. Demand fills propagate through every level; prefetch
 // fills install in the LLC only. Waiters complete at the equivalent CPU
 // cycle plus the LLC-to-core fill latency, releasing their L1 MSHR.
 func (h *Hierarchy) onFill(m *mshr, dramDone int64) {
+	h.ver++
 	delete(h.pending, m.block)
 	if m.prefetch {
 		if v, vd := h.llc.Insert(m.block, m.dirty); vd {

@@ -8,7 +8,10 @@
 // access patterns. It does not model x86 semantics.
 package cpu
 
-import "chopim/internal/cache"
+import (
+	"chopim/internal/cache"
+	"chopim/internal/dram"
+)
 
 // Instr is one trace instruction. Non-memory instructions execute in one
 // cycle; memory instructions access the cache hierarchy. Serialize marks
@@ -60,6 +63,19 @@ type Core struct {
 	stalled  Instr
 	hasStall bool
 
+	// Blocked-state tracking for the fast-forward machinery. After a
+	// Tick that made zero progress (no retire, no issue) the core is
+	// provably stuck until either its ROB head becomes retirable (wake,
+	// a CPU cycle; Never while the head's miss is outstanding) or — when
+	// probeStall is set — some other component mutates hierarchy or
+	// controller state, changing the outcome of the stalled access's
+	// retry probe. dirty is set by completion callbacks and forces
+	// re-evaluation on the next executed cycle.
+	blocked    bool
+	probeStall bool
+	wake       int64
+	dirty      bool
+
 	Retired int64
 	Cycles  int64
 }
@@ -76,6 +92,7 @@ func NewCore(id int, cfg Config, trace TraceSource, hier *cache.Hierarchy) *Core
 		c.doneFns[i] = func(cpuDone int64) {
 			e.pending = false
 			e.doneAt = cpuDone
+			c.dirty = true
 		}
 	}
 	return c
@@ -93,17 +110,61 @@ func (c *Core) IPC() float64 {
 func (c *Core) ResetStats() { c.Retired, c.Cycles = 0, 0 }
 
 // NextEvent returns the earliest CPU cycle >= now at which the core can
-// change state. Trace-driven cores always have an instruction to retire
-// or issue, and even a structurally-stalled core re-probes the cache
-// hierarchy every cycle (updating replacement state), so a core is
-// never skippable: the next event is always the current cycle.
-func (c *Core) NextEvent(now int64) int64 { return now }
+// change state, assuming no external state changes (no completion
+// callbacks, no hierarchy or controller mutations) before then. An
+// active core's next event is the current cycle. A blocked core cannot
+// retire before its ROB head resolves and cannot issue before either
+// retirement frees ROB/LSQ space or — for a probeStall — the memory
+// system changes underneath it; under the static-externals assumption
+// the bound is its head wake cycle. Callers that mutate external state
+// (the sim package) must re-dispatch the core when they do: ticking a
+// blocked core is always exact, only skipping needs this bound.
+func (c *Core) NextEvent(now int64) int64 {
+	if !c.blocked || c.dirty {
+		return now
+	}
+	return c.wake
+}
+
+// Blocked reports whether the core provably cannot make progress until
+// its wake cycle or an external state change (see NextEvent).
+func (c *Core) Blocked() bool { return c.blocked && !c.dirty }
+
+// ProbeStalled reports that the blocked core's stalled instruction got
+// cache.Stall from the hierarchy: its retry outcome depends on MSHR and
+// controller-queue state, so the core must run on every executed cycle
+// (any component may have freed the resource it is waiting on).
+func (c *Core) ProbeStalled() bool { return c.probeStall }
+
+// WakeCycle returns the blocked core's self-known wake bound: the CPU
+// cycle its ROB head becomes retirable, or Never while the head's miss
+// is still outstanding (the completion callback will set dirty).
+func (c *Core) WakeCycle() int64 { return c.wake }
+
+// SkipCycles accounts k provably idle CPU cycles without executing
+// them. Exact only for cycles where the core is Blocked with no
+// external state change: such a tick increments Cycles, retires
+// nothing, and either retries a side-effect-free probe or cannot issue
+// at all — so bulk-adding the cycle count reproduces it bit-exactly.
+func (c *Core) SkipCycles(k int64) { c.Cycles += k }
 
 // Tick advances the core by one CPU cycle.
 func (c *Core) Tick(now int64) {
 	c.Cycles++
+	r0 := c.Retired
 	c.retire(now)
-	c.issue(now)
+	issued := c.issue(now)
+	if issued || c.Retired != r0 {
+		c.blocked, c.dirty = false, false
+		return
+	}
+	// Zero progress: record why, and the earliest self-known wake.
+	c.blocked = true
+	c.dirty = false
+	c.wake = dram.Never
+	if c.n > 0 && !c.rob[c.head].pending {
+		c.wake = c.rob[c.head].doneAt
+	}
 }
 
 func (c *Core) retire(now int64) {
@@ -124,8 +185,10 @@ func (c *Core) retire(now int64) {
 	}
 }
 
-func (c *Core) issue(now int64) {
-	for issued := 0; issued < c.cfg.Width && c.n < len(c.rob); issued++ {
+func (c *Core) issue(now int64) bool {
+	c.probeStall = false
+	issued := 0
+	for ; issued < c.cfg.Width && c.n < len(c.rob); issued++ {
 		var in Instr
 		if c.hasStall {
 			in = c.stalled
@@ -136,15 +199,16 @@ func (c *Core) issue(now int64) {
 			// Dependency chain head: wait for the next cycle.
 			c.stalled = in
 			c.hasStall = true
-			return
+			return true
 		}
 		if !c.tryIssue(in, now) {
 			c.stalled = in
 			c.hasStall = true
-			return
+			return issued > 0
 		}
 		c.hasStall = false
 	}
+	return issued > 0
 }
 
 // tryIssue places one instruction into the ROB, accessing memory if
@@ -165,6 +229,7 @@ func (c *Core) tryIssue(in Instr, now int64) bool {
 	res, lat := c.hier.Access(c.ID, in.Addr, in.Write, c.doneFns[slot])
 	switch res {
 	case cache.Stall:
+		c.probeStall = true
 		return false
 	case cache.Hit:
 		e.doneAt = now + lat

@@ -158,6 +158,14 @@ type Mem struct {
 	NumRD, NumWR   int64 // external (host) column commands
 	NumNDARD       int64 // internal (NDA) column commands
 	NumNDAWR       int64
+
+	// chVer counts issued commands per channel: a version for any
+	// conclusion cached from timing state (the system's per-controller
+	// wake cache keys on it, since NDA commands move horizons the
+	// channel's controller schedules against). Channels are timing-
+	// independent, so one channel's traffic never invalidates another's
+	// cached conclusions. It advances on every Issue and nothing else.
+	chVer []uint64
 }
 
 // New builds a Mem with the given geometry and timing. It panics on
@@ -169,7 +177,7 @@ func New(g Geometry, t Timing) *Mem {
 	if err := t.Validate(); err != nil {
 		panic(err)
 	}
-	m := &Mem{Geom: g, T: t, channels: make([]chanState, g.Channels)}
+	m := &Mem{Geom: g, T: t, channels: make([]chanState, g.Channels), chVer: make([]uint64, g.Channels)}
 	for c := range m.channels {
 		ch := &m.channels[c]
 		ch.ranks = make([]rankState, g.Ranks)
@@ -214,6 +222,9 @@ func (m *Mem) RankDataBusyUntil(channel, rank int) int64 {
 func (m *Mem) ChannelDataBusyUntil(channel int) int64 {
 	return m.channels[channel].dataBusyUntil
 }
+
+// ChVer returns the channel's issued-command version (see chVer).
+func (m *Mem) ChVer(channel int) uint64 { return m.chVer[channel] }
 
 // RankStamp returns a version counter for the rank's timing and row
 // state: it advances on every command issued to the rank and on nothing
@@ -475,6 +486,7 @@ func (m *Mem) Issue(cmd Command, a Addr, now int64, internal bool) {
 	ch := &m.channels[a.Channel]
 	rk := &ch.ranks[a.Rank]
 	b := &rk.banks[a.GlobalBank(m.Geom)]
+	m.chVer[a.Channel]++
 	rk.stamp++ // invalidate the rank's bank horizon caches
 
 	maxi := func(p *int64, v int64) {

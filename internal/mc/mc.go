@@ -77,11 +77,22 @@ type Controller struct {
 	drain    bool
 
 	bpr    int      // banks per rank (bankKey stride)
+	bpg    int      // banks per group (flat bank -> bank group)
 	nrank  int      // ranks per channel
 	free   *Request // request node pool
 	seqGen int64
 	stScratch  []int64 // per-rank stamp scratch for schedule sweeps
 	busScratch []int64 // per-rank channel-bus horizon scratch
+
+	// Fused horizon hint: a Tick that attempts both queues and issues
+	// nothing records the min candidate horizon its failed sweeps
+	// already computed (sweepHz per queue), saving NextEvent the
+	// re-sweep. Valid while hintVer/hintMemVer match the live counters.
+	sweepHz    int64
+	hint       int64
+	hintValid  bool
+	hintVer    uint64
+	hintMemVer uint64
 
 	// cross is set when any request ever decoded to a foreign channel.
 	// The system router routes one channel per controller, so this only
@@ -99,6 +110,16 @@ type Controller struct {
 	// (-1 if none); refreshed each Tick.
 	issuedRank  int
 	issuedIsCol bool
+
+	// ver counts externally visible controller mutations: enqueues,
+	// dequeues/issues (column and row commands, refresh), and overflow
+	// refills. Anything caching conclusions drawn from controller state
+	// — the system's per-controller wake cache, the NDA engine's
+	// per-rank sleep bounds (which read queue occupancy, bank demand,
+	// and the oldest-read rank) — revalidates when it changes. Pure
+	// bookkeeping invisible from outside (drain hysteresis flips) does
+	// not bump it.
+	ver uint64
 
 	// seen/seenGen implement the reference scheduler's per-Tick
 	// visited-bank set without per-cycle allocation.
@@ -121,6 +142,7 @@ func NewController(cfg Config, mem *dram.Mem, mapper addrmap.Mapper, channel int
 	c := &Controller{
 		cfg: cfg, mem: mem, mapper: mapper, channel: channel,
 		bpr:        mem.Geom.BanksPerRank(),
+		bpg:        mem.Geom.BanksPerGroup,
 		nrank:      mem.Geom.Ranks,
 		issuedRank: -1,
 		seen:       make([]int64, nb),
@@ -143,6 +165,18 @@ func (c *Controller) SetReferenceScheduler(on bool) { c.refSched = on }
 
 // Channel returns the channel index this controller owns.
 func (c *Controller) Channel() int { return c.channel }
+
+// Ver returns the externally-visible-mutation counter (see ver).
+func (c *Controller) Ver() uint64 { return c.ver }
+
+// ClearIssued resets the per-cycle issued-command scratch without
+// running a Tick. The wake-driven system scheduler calls it on cycles
+// where the controller is provably idle, so the NDA coordination hooks
+// (HostIssuedRank) observe the same -1 a no-op Tick would have set.
+func (c *Controller) ClearIssued() {
+	c.issuedRank = -1
+	c.issuedIsCol = false
+}
 
 // alloc pops a pooled request node (or grows the pool).
 func (c *Controller) alloc(addr uint64, daddr dram.Addr, write bool, now int64, done func(int64)) *Request {
@@ -184,6 +218,7 @@ func (c *Controller) EnqueueReadDecoded(addr uint64, daddr dram.Addr, now int64,
 	r.seq = c.seqGen
 	c.seqGen++
 	c.rq.push(r)
+	c.ver++
 	return true
 }
 
@@ -208,6 +243,7 @@ func (c *Controller) EnqueueControl(daddr dram.Addr, now int64, done func(int64)
 
 // pushWrite routes a write into the write queue or the overflow buffer.
 func (c *Controller) pushWrite(r *Request) {
+	c.ver++
 	if c.wq.n >= c.cfg.WriteQueue {
 		c.overflow.Push(r)
 		return
@@ -284,13 +320,30 @@ func (c *Controller) NextEvent(now int64) int64 {
 		// run the rescan); stay cycle-exact.
 		return now
 	}
+	if c.issuedRank >= 0 {
+		// The controller issued on its most recent executed cycle;
+		// report due. The common case is more ready work immediately
+		// after an issue, so horizon derivation is deferred until a
+		// cycle proves the pipeline drained (a Tick that issues nothing
+		// clears issuedRank and leaves a fused horizon hint behind).
+		return now
+	}
 	if c.overflow.Len() > 0 && c.wq.n < c.cfg.WriteQueue {
 		return now // next Tick refills the write queue
 	}
 	if (!c.drain && c.wq.n >= c.cfg.DrainHigh) || (c.drain && c.wq.n <= c.cfg.DrainLow) {
 		return now // next Tick flips drain hysteresis (Drains counter)
 	}
-	h := min(c.queueHorizon(&c.rq, false, now), c.queueHorizon(&c.wq, true, now))
+	// A Tick that attempted both queues and issued nothing already
+	// derived the horizon as a byproduct of its failed sweeps; serve it
+	// while nothing it was derived from has moved (no enqueue or
+	// dequeue — ver — and no command on the channel — ChVer).
+	h := dram.Never
+	if c.hintValid && c.hintVer == c.ver && c.hintMemVer == c.mem.ChVer(c.channel) {
+		h = c.hint
+	} else {
+		h = min(c.queueHorizon(&c.rq, false, now), c.queueHorizon(&c.wq, true, now))
+	}
 	if h <= now || h == dram.Never {
 		return now
 	}
@@ -324,11 +377,11 @@ func (c *Controller) queueHorizon(q *reqQueue, writes bool, now int64) int64 {
 
 // entry returns the queue's scheduling-cache entry for the occupied
 // bank, recomputing it if the bucket changed or a command issued to the
-// bank's rank since it was derived.
+// bank's rank since it was derived. Fast-path only (single-channel
+// queues; cross harnesses never reach the cached scheduler).
 func (c *Controller) entry(q *reqQueue, bk int32, cmd dram.Command) *bankEntry {
-	e := &q.sched[bk]
-	head := q.banks[bk].head
-	st := c.mem.RankStamp(head.DAddr.Channel, head.DAddr.Rank)
+	e := &q.sched[q.occPos[bk]]
+	st := c.mem.RankStamp(c.channel, int(bk)/c.bpr-c.channel*c.nrank)
 	if e.dirty || e.rkStamp != st {
 		c.recomputeEntry(q, e, bk, cmd, st)
 	}
@@ -338,13 +391,40 @@ func (c *Controller) entry(q *reqQueue, bk int32, cmd dram.Command) *bankEntry {
 // recomputeEntry re-derives one bank's candidates (see bankEntry). All
 // timing inputs come from one BankSched read; ready cycles are raw
 // horizons (the callers' <= now compares make clamping unnecessary).
+// When only timing moved — the bucket is clean and the bank's row state
+// matches the identity cache — the candidates themselves are reused and
+// just their ready cycles refresh, skipping the bucket scan.
 func (c *Controller) recomputeEntry(q *reqQueue, e *bankEntry, bk int32, cmd dram.Command, st int64) {
+	// Bank coordinates come from the key, not the bucket head: the
+	// identity-fast branch must not touch the request at all (a pointer
+	// chase the packed entry layout exists to avoid).
+	flat := int(bk) % c.bpr
+	rank := int(bk)/c.bpr - c.channel*c.nrank
+	row, open, readyACT, readyPRE, readyRD, readyWR := c.mem.BankSched(
+		c.channel, rank, flat/c.bpg, flat)
+	if !e.dirty && e.idValid && e.idOpen == open && (!open || e.idRow == int32(row)) {
+		if e.p1 != nil {
+			if cmd == dram.CmdRD {
+				e.p1Rank = readyRD
+			} else {
+				e.p1Rank = readyWR
+			}
+		}
+		if e.p2 != nil {
+			switch e.p2Cmd {
+			case dram.CmdACT:
+				e.p2Rank = readyACT
+			default:
+				e.p2Rank = readyPRE
+			}
+		}
+		e.rkStamp = st
+		return
+	}
 	bl := &q.banks[bk]
 	head := bl.head
 	a := &head.DAddr
 	e.p1, e.p2 = nil, nil
-	row, open, readyACT, readyPRE, readyRD, readyWR := c.mem.BankSched(
-		a.Channel, a.Rank, a.BankGroup, int(bk)%c.bpr)
 	if !open {
 		e.p2, e.p2Cmd = head, dram.CmdACT
 		e.p2Rank = readyACT
@@ -363,11 +443,12 @@ func (c *Controller) recomputeEntry(q *reqQueue, e *bankEntry, bk int32, cmd dra
 			}
 		}
 		if a.Row != row {
-			e.p2, e.p2Cmd, e.p2Row = head, dram.CmdPRE, row
+			e.p2, e.p2Cmd, e.p2Row = head, dram.CmdPRE, int32(row)
 			e.p2Rank = readyPRE
 		}
 	}
 	e.dirty = false
+	e.idValid, e.idOpen, e.idRow = true, open, int32(row)
 	e.rkStamp = st
 }
 
@@ -389,6 +470,7 @@ func (c *Controller) Tick(now int64) {
 		r.seq = c.seqGen
 		c.seqGen++
 		c.wq.push(r)
+		c.ver++
 	}
 
 	// Write-drain mode hysteresis.
@@ -405,15 +487,31 @@ func (c *Controller) Tick(now int64) {
 		if c.schedule(&c.wq, now, true) {
 			return
 		}
+		h := c.sweepHz
 		// Fall through: if no write can issue, try reads anyway.
-		c.schedule(&c.rq, now, false)
+		if !c.schedule(&c.rq, now, false) {
+			c.setHint(min(h, c.sweepHz))
+		}
 		return
 	}
 	if c.schedule(&c.rq, now, false) {
 		return
 	}
+	h := c.sweepHz
 	// Opportunistic writes when no read can make progress.
-	c.schedule(&c.wq, now, true)
+	if !c.schedule(&c.wq, now, true) {
+		c.setHint(min(h, c.sweepHz))
+	}
+}
+
+// setHint publishes the fused horizon derived by a no-issue Tick's
+// failed sweeps (see NextEvent), stamped with the state versions it was
+// derived under.
+func (c *Controller) setHint(h int64) {
+	c.hint = h
+	c.hintValid = true
+	c.hintVer = c.ver
+	c.hintMemVer = c.mem.ChVer(c.channel)
 }
 
 // schedule applies FR-FCFS to the given queue: first a ready row-hit
@@ -429,10 +527,13 @@ func (c *Controller) Tick(now int64) {
 // so "oldest ready" equals the rescan's "first in arrival order passing
 // CanIssue".
 func (c *Controller) schedule(q *reqQueue, now int64, writes bool) bool {
+	c.sweepHz = dram.Never
 	if q.n == 0 {
 		return false
 	}
 	if c.refSched || c.cross {
+		// The rescan derives no horizon; a Never hint makes NextEvent
+		// report due (cycle-exact), which oracle mode wants anyway.
 		return c.scheduleRef(q, now, writes)
 	}
 	cmd := dram.CmdRD
@@ -447,24 +548,39 @@ func (c *Controller) schedule(q *reqQueue, now int64, writes bool) bool {
 		c.stScratch[r] = c.mem.RankStamp(c.channel, r)
 		c.busScratch[r] = c.mem.ExtColReady(c.channel, cmd, r)
 	}
-	// One sweep finds both passes' oldest ready candidates: the row hit
-	// (pass 1) always wins over a row command (pass 2).
+	// One sweep finds both passes' oldest ready candidates (the row hit
+	// — pass 1 — always wins over a row command, pass 2) and, as a free
+	// byproduct, the min candidate horizon (sweepHz) a no-issue Tick
+	// publishes for NextEvent; the per-bank values match queueHorizon's
+	// exactly.
+	hz := dram.Never
 	var best *Request
 	var best2 *bankEntry
-	for _, bk := range q.occ {
+	for i, bk := range q.occ {
 		rank := (bk >> q.shift) - base
-		e := &q.sched[bk]
+		e := &q.sched[i]
 		if e.dirty || e.rkStamp != c.stScratch[rank] {
 			c.recomputeEntry(q, e, bk, cmd, c.stScratch[rank])
 		}
-		if r := e.p1; r != nil && e.p1Rank <= now &&
-			(best == nil || r.seq < best.seq) && c.busScratch[rank] <= now {
-			best = r
+		if r := e.p1; r != nil {
+			h := max(e.p1Rank, c.busScratch[rank])
+			if h < hz {
+				hz = h
+			}
+			if h <= now && (best == nil || r.seq < best.seq) {
+				best = r
+			}
 		}
-		if e.p2 != nil && e.p2Rank <= now && (best2 == nil || e.p2.seq < best2.p2.seq) {
-			best2 = e
+		if e.p2 != nil {
+			if e.p2Rank < hz {
+				hz = e.p2Rank
+			}
+			if e.p2Rank <= now && (best2 == nil || e.p2.seq < best2.p2.seq) {
+				best2 = e
+			}
 		}
 	}
+	c.sweepHz = hz
 	if best != nil {
 		c.issueColumn(cmd, best, q, now, writes)
 		return true
@@ -477,11 +593,11 @@ func (c *Controller) schedule(q *reqQueue, now int64, writes bool) bool {
 	lastSeq := int64(-1)
 	for best2 != nil {
 		r := best2.p2
-		if best2.p2Cmd == dram.CmdPRE && c.rowWanted(r.DAddr, best2.p2Row) {
+		if best2.p2Cmd == dram.CmdPRE && c.rowWanted(r.DAddr, int(best2.p2Row)) {
 			lastSeq = r.seq
 			best2 = nil
-			for _, bk := range q.occ {
-				e := &q.sched[bk] // validated by the sweep above
+			for i := range q.occ {
+				e := &q.sched[i] // validated by the sweep above
 				if e.p2 == nil || e.p2Rank > now || e.p2.seq <= lastSeq {
 					continue
 				}
@@ -598,6 +714,7 @@ func (c *Controller) rowWantedRef(a dram.Addr, openRow int) bool {
 
 func (c *Controller) issueColumn(cmd dram.Command, r *Request, q *reqQueue, now int64, write bool) {
 	c.mem.Issue(cmd, r.DAddr, now, false)
+	c.ver++
 	c.issuedRank = r.DAddr.Rank
 	c.issuedIsCol = true
 	q.remove(r)
@@ -624,6 +741,7 @@ func (c *Controller) issueColumn(cmd dram.Command, r *Request, q *reqQueue, now 
 
 // markRowCmd records host activity on a rank for a row command.
 func (c *Controller) markRowCmd(a dram.Addr, now int64) {
+	c.ver++
 	c.issuedRank = a.Rank
 	c.IdleHists[a.Rank].MarkBusy(now, now+1)
 }

@@ -33,10 +33,15 @@ type reqQueue struct {
 	shift      uint // log2(banks per rank group): bankKey >> shift = rank group
 
 	banks  []bankList  // indexed by Request.bankKey
-	sched  []bankEntry // per-bank scheduling cache, same index
 	rankN  []int       // queued requests per (channel, rank) group
 	occ    []int32     // occupied bank keys, unordered (swap-removed)
 	occPos []int32     // bankKey -> index into occ, -1 when absent
+	// sched is the per-bank scheduling cache, kept DENSE: sched[i] is
+	// the entry for occ[i], maintained through the same swap-removal.
+	// The FR-FCFS sweep walks occ and sched linearly — with entries
+	// packed, the hottest loop in the controller streams through a few
+	// cache lines instead of striding a sparse bankKey-indexed array.
+	sched []bankEntry
 }
 
 func (q *reqQueue) init(rankGroups, banksPerRank int) {
@@ -45,10 +50,7 @@ func (q *reqQueue) init(rankGroups, banksPerRank int) {
 		q.shift++ // geometry fields are validated powers of two
 	}
 	q.banks = make([]bankList, nb)
-	q.sched = make([]bankEntry, nb)
-	for i := range q.sched {
-		q.sched[i].dirty = true
-	}
+	q.sched = make([]bankEntry, 0, nb)
 	q.rankN = make([]int, rankGroups)
 	q.occ = make([]int32, 0, nb)
 	q.occPos = make([]int32, nb)
@@ -59,7 +61,6 @@ func (q *reqQueue) init(rankGroups, banksPerRank int) {
 
 // push appends r to the queue (age order) and its bank bucket.
 func (q *reqQueue) push(r *Request) {
-	q.sched[r.bankKey].dirty = true
 	r.qnext, r.qprev = nil, q.tail
 	if q.tail != nil {
 		q.tail.qnext = r
@@ -74,10 +75,12 @@ func (q *reqQueue) push(r *Request) {
 	r.bnext, r.bprev = nil, bl.tail
 	if bl.tail != nil {
 		bl.tail.bnext = r
+		q.sched[q.occPos[r.bankKey]].dirty = true
 	} else {
 		bl.head = r
 		q.occPos[r.bankKey] = int32(len(q.occ))
 		q.occ = append(q.occ, r.bankKey)
+		q.sched = append(q.sched, bankEntry{dirty: true})
 	}
 	bl.tail = r
 	bl.n++
@@ -85,7 +88,7 @@ func (q *reqQueue) push(r *Request) {
 
 // remove unlinks r from the queue and its bank bucket.
 func (q *reqQueue) remove(r *Request) {
-	q.sched[r.bankKey].dirty = true
+	q.sched[q.occPos[r.bankKey]].dirty = true
 	if r.qprev != nil {
 		r.qprev.qnext = r.qnext
 	} else {
@@ -112,7 +115,8 @@ func (q *reqQueue) remove(r *Request) {
 	}
 	bl.n--
 	if bl.n == 0 {
-		// Swap-remove the bank from the occupied set.
+		// Swap-remove the bank (and its dense sched entry) from the
+		// occupied set.
 		i := q.occPos[r.bankKey]
 		last := int32(len(q.occ) - 1)
 		moved := q.occ[last]
@@ -120,6 +124,10 @@ func (q *reqQueue) remove(r *Request) {
 		q.occPos[moved] = i
 		q.occ = q.occ[:last]
 		q.occPos[r.bankKey] = -1
+		// Stale candidate pointers in the truncated tail are harmless:
+		// request nodes are pooled for the controller's lifetime.
+		q.sched[i] = q.sched[last]
+		q.sched = q.sched[:last]
 	}
 	r.qnext, r.qprev, r.bnext, r.bprev = nil, nil, nil, nil
 }
@@ -140,8 +148,10 @@ func (q *reqQueue) remove(r *Request) {
 // cycle the rescan would have evaluated it. With clean entries, a
 // timing-blocked cycle costs a handful of int64 compares per occupied
 // bank; no CanIssue or OpenRow calls at all.
+// bankEntry fields are ordered and sized to pack the struct into a
+// single cache line: the dense sched array is streamed by the hottest
+// loop in the controller.
 type bankEntry struct {
-	dirty   bool
 	rkStamp int64
 
 	// Pass 1: the bank's oldest row hit (nil when the bank is closed or
@@ -155,7 +165,18 @@ type bankEntry struct {
 	// ready cycle, and the open row for PRE's issue-time rowWanted
 	// re-check.
 	p2     *Request
-	p2Cmd  dram.Command
-	p2Row  int
 	p2Rank int64
+	p2Row  int32
+	p2Cmd  dram.Command
+
+	// Identity cache: the candidates (which requests, which commands)
+	// depend only on the bucket's content and the bank's row state, not
+	// on timing horizons. While the bucket is clean and (idOpen, idRow)
+	// match the bank, a stamp-invalidated entry refreshes only the two
+	// ready cycles from the bank's cached horizons — no bucket scan.
+	idRow   int32
+	idValid bool
+	idOpen  bool
+
+	dirty bool
 }

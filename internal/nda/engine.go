@@ -107,11 +107,34 @@ type RankNDA struct {
 	fsm     rankFSM
 	replica *rankFSM
 
-	// sleepUntil caches the FSM's next event: while the host leaves the
-	// rank and its channel queues alone, ticks before this cycle are
-	// provably no-ops and are skipped. Any host disturbance bypasses the
-	// cache (checked every tick); launches reset it.
+	// sleepUntil caches the FSM's next event: ticks before it are
+	// provably no-ops and are skipped. Its validity contract has two
+	// tiers, recorded at derivation time:
+	//
+	//   - sleepPure: the bound came from a pure timing wait (an open-row
+	//     column or row command gated only on this rank's DRAM horizons,
+	//     with no host-state read on the evaluation path). It stays
+	//     valid under arbitrary host-queue churn; only a host command to
+	//     this rank invalidates it — Issue moves horizons monotonically
+	//     later and can close the row, and the engine provably steps the
+	//     rank on that very cycle (the dispatcher forces a Tick whenever
+	//     a host controller issues to a busy rank), marking the bound
+	//     stale before it could ever be consumed again.
+	//   - impure (sleepPure false): the evaluation read host controller
+	//     state (oldest-read rank, per-bank demand), so the bound is
+	//     valid only while the channel controller's mutation counter
+	//     (derivedVer) is unmoved; every branch that accrues per-cycle
+	//     stall counters bounds itself at now and is never slept over.
+	//
+	// Bounds are derived lazily: a step marks sleepStale and the next
+	// NextEvent query evaluates nextEvent — under sustained host traffic
+	// every cycle executes anyway and eager evaluation would be waste.
+	// A stale or invalid bound is never trusted; stepping instead is
+	// always reference-exact.
 	sleepUntil int64
+	sleepPure  bool
+	sleepStale bool
+	derivedVer uint64
 }
 
 // Stats returns the rank's activity counters.
@@ -167,7 +190,7 @@ func NewEngine(cfg Config, mem *dram.Mem, hosts []*mc.Controller) *Engine {
 // channel occupancy.
 func (e *Engine) Launch(channel, rank int, makeOp func() *Op) {
 	n := e.Ranks[channel][rank]
-	n.sleepUntil = 0
+	n.sleepStale = true // re-derive: the new op changes the FSM's next action
 	n.fsm.ops = append(n.fsm.ops, makeOp())
 	if n.replica != nil {
 		op := makeOp()
@@ -189,32 +212,54 @@ func (e *Engine) Busy() bool {
 }
 
 // Tick advances every rank NDA by one DRAM cycle. Must run after the
-// host controllers' Tick for the same cycle (host priority).
+// host controllers' Tick for the same cycle (host priority). The
+// fast-forward dispatcher must invoke it on every cycle where a host
+// controller issued a command to a rank with NDA work (see
+// RankBusy) — the rank's yield accounting happens on that very cycle.
 func (e *Engine) Tick(now int64) {
 	for ch, row := range e.Ranks {
-		hostRank := e.hosts[ch].HostIssuedRank()
+		host := e.hosts[ch]
+		hostRank := host.HostIssuedRank()
+		hv := host.Ver()
 		for _, n := range row {
-			n.tick(now, hostRank, e.fastForward)
+			n.tick(now, hostRank, hv, e.fastForward)
 		}
 	}
 }
 
+// RankBusy reports whether the rank's NDA has queued work: the
+// dispatcher uses it to force a Tick when a host command targets the
+// rank.
+func (e *Engine) RankBusy(channel, rank int) bool {
+	n := e.Ranks[channel][rank]
+	return len(n.fsm.ops) > 0 || n.fsm.wb.Len() > 0
+}
+
 // NextEvent returns the earliest DRAM cycle >= now at which any rank
-// NDA can issue a command or mutate observable state, assuming the host
-// controllers stay idle through that cycle. The system only skips the
-// clock when every host queue is empty (a busy controller's own
-// NextEvent forces cycle-by-cycle execution), so the assumption holds
-// whenever the bound is consumed.
+// NDA can issue a command or mutate observable state, assuming no host
+// command targets a busy rank before then (the dispatcher forces a Tick
+// on any cycle where one does, so consuming the bound is sound). Stale
+// or version-invalidated bounds are re-derived here from current state:
+// between a rank's last step and this query nothing it reads can have
+// changed without either bumping its channel's Ver (impure bounds
+// revalidate against it) or issuing to the rank itself (which forced a
+// step), so the lazy evaluation equals the one the step would have
+// done. Stall counters that accrue per-cycle under host interference
+// all live behind branches whose bound is now, and are never slept
+// over.
 func (e *Engine) NextEvent(now int64) int64 {
 	next := dram.Never
-	for _, row := range e.Ranks {
+	for ch, row := range e.Ranks {
+		hv := e.hosts[ch].Ver()
 		for _, n := range row {
 			if len(n.fsm.ops) == 0 && n.fsm.wb.Len() == 0 {
 				continue
 			}
-			// The tick-time cache is authoritative: it was computed
-			// after the rank's last executed step and is reset on any
-			// disturbance, so a value above now is a proven idle bound.
+			if n.sleepStale || (!n.sleepPure && n.derivedVer != hv) {
+				n.sleepUntil, n.sleepPure = n.nextEvent(now)
+				n.derivedVer = hv
+				n.sleepStale = false
+			}
 			if n.sleepUntil <= now {
 				return now
 			}
@@ -229,11 +274,14 @@ func (e *Engine) NextEvent(now int64) int64 {
 // nextEvent mirrors stepFSM's decision tree without mutating: every
 // branch either proves the FSM idle until a computable timing horizon or
 // returns now because the next tick performs work (an RNG draw, a
-// policy-stall counter bump, a state-flag flip, or op completion).
-func (n *RankNDA) nextEvent(now int64) int64 {
+// policy-stall counter bump, a state-flag flip, or op completion). The
+// second result reports purity: true when no host controller state was
+// read on the evaluation path, so the bound survives host-queue churn
+// (see sleepUntil).
+func (n *RankNDA) nextEvent(now int64) (int64, bool) {
 	f := &n.fsm
 	if len(f.ops) == 0 && f.wb.Len() == 0 {
-		return dram.Never
+		return dram.Never, true
 	}
 	wantWrite := false
 	switch {
@@ -247,39 +295,46 @@ func (n *RankNDA) nextEvent(now int64) int64 {
 	if wantWrite {
 		switch n.cfg.Policy {
 		case Stochastic:
-			return now // every attempt draws from the FSM's RNG
+			return now, false // every attempt draws from the FSM's RNG
 		case NextRank:
 			if r, ok := n.host.OldestReadRank(); ok && r == n.Rank {
-				return now // StallsPolicy advances each inhibited cycle
+				return now, false // StallsPolicy advances each inhibited cycle
 			}
+			// The inhibition read taints the bound even when the wait
+			// itself is a pure timing one.
+			b, _ := n.accessEvent(dram.CmdWR, f.wb.Front().addr, now)
+			return b, false
 		}
 		return n.accessEvent(dram.CmdWR, f.wb.Front().addr, now)
 	}
 	op := f.ops[0]
 	if op.Kind.WritesResult() && f.wb.Len() > n.cfg.WriteBufCap-BatchBlocks {
-		return now // backpressure flips draining on the next tick
+		return now, false // backpressure flips draining on the next tick
 	}
 	a, ok := op.PeekRead()
 	if !ok {
-		return now // exhaustion discovery, tail flush, or completion
+		return now, false // exhaustion discovery, tail flush, or completion
 	}
 	return n.accessEvent(dram.CmdRD, a, now)
 }
 
 // accessEvent bounds when the FSM's pending column access (or the row
-// command it needs first) can make progress.
-func (n *RankNDA) accessEvent(col dram.Command, a dram.Addr, now int64) int64 {
+// command it needs first) can make progress, and whether the bound is
+// pure (derived from this rank's own DRAM horizons alone).
+func (n *RankNDA) accessEvent(col dram.Command, a dram.Addr, now int64) (int64, bool) {
 	row, open := n.mem.OpenRow(a)
 	if open && row == a.Row {
-		return n.mem.NextIssue(col, a, now, true)
+		return n.mem.NextIssue(col, a, now, true), true
 	}
 	if n.host.HasDemandFor(n.Rank, a.GlobalBank(n.mem.Geom)) {
-		return now // StallsHost advances each blocked cycle
+		return now, false // StallsHost advances each blocked cycle
 	}
+	// The demand check taints the bound: demand arriving mid-wait turns
+	// every remaining cycle into a StallsHost bump.
 	if open {
-		return n.mem.NextIssue(dram.CmdPRE, a, now, true)
+		return n.mem.NextIssue(dram.CmdPRE, a, now, true), false
 	}
-	return n.mem.NextIssue(dram.CmdACT, a, now, true)
+	return n.mem.NextIssue(dram.CmdACT, a, now, true), false
 }
 
 // BytesMoved returns total NDA data movement in bytes.
@@ -315,30 +370,24 @@ func (e *Engine) TotalStats() RankStats {
 // FSMs evaluate against identical pre-issue DRAM state; their observable
 // state must then agree.
 //
-// While the host leaves the rank alone (no command to it this cycle, no
-// queued channel traffic), ticks before the cached next event are
-// provably no-ops — every blocked FSM attempt under those conditions
-// mutates nothing — and return immediately. Host activity bypasses the
-// cache because it can change FSM decisions (yield, next-rank inhibit,
-// row-command demand priority) and their stall counters.
-func (n *RankNDA) tick(now int64, hostIssuedRank int, fastForward bool) {
+// The fast path sleeps while the cached bound holds (see sleepUntil's
+// validity contract): fresh, pure-or-version-valid, no host command to
+// this rank this cycle. Everything else steps — stepping is what the
+// reference does every cycle, so it is always exact.
+func (n *RankNDA) tick(now int64, hostIssuedRank int, hostVer uint64, fastForward bool) {
 	if len(n.fsm.ops) == 0 && n.fsm.wb.Len() == 0 {
 		return
 	}
 	if fastForward {
-		hostQuiet := hostIssuedRank != n.Rank && !n.hostQueued()
-		if hostQuiet && now < n.sleepUntil {
+		if !n.sleepStale && (n.sleepPure || n.derivedVer == hostVer) &&
+			hostIssuedRank != n.Rank && now < n.sleepUntil {
 			return
 		}
 		n.step(now, hostIssuedRank)
-		if hostQuiet {
-			n.sleepUntil = n.nextEvent(now + 1)
-		} else {
-			n.sleepUntil = 0
-		}
+		n.sleepStale = true
 		return
 	}
-	n.sleepUntil = 0
+	n.sleepStale = true
 	n.step(now, hostIssuedRank)
 }
 
@@ -354,12 +403,6 @@ func (n *RankNDA) step(now int64, hostIssuedRank int) {
 				n.Channel, n.Rank, now, got, want))
 		}
 	}
-}
-
-// hostQueued reports pending host traffic on this rank's channel.
-func (n *RankNDA) hostQueued() bool {
-	r, w := n.host.QueueOccupancy()
-	return r+w > 0
 }
 
 // stepFSM advances one FSM by one cycle. When apply is true, DRAM

@@ -2,11 +2,13 @@ package sim
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 
 	"chopim/internal/apps"
 	"chopim/internal/nda"
 	"chopim/internal/ndart"
+	"chopim/internal/workload"
 )
 
 // snapshot captures every observable counter of a system so the
@@ -99,7 +101,41 @@ func ffWorkloads() []ffWorkload {
 			return a.Iterate, nil
 		},
 	}
-	return []ffWorkload{hostOnly, ndaOnly, ndaCopy, mixed, mixedShared}
+	// Stress shapes for the core stall-skipping machinery: each profile
+	// drives a different blocked-core cause (serialize-heavy low-MLP
+	// stalls, store/writeback pressure, LSQ saturation), and the mixed
+	// variant layers NDA traffic over the stall-heavy host.
+	hostProfiles := func(p workload.Profile) func() Config {
+		return func() Config {
+			c := Default(-1)
+			c.HostProfiles = []workload.Profile{p, p, p, p}
+			return c
+		}
+	}
+	stallHeavy := ffWorkload{name: "host-stall-heavy", cfg: hostProfiles(workload.StallHeavy())}
+	storeHeavy := ffWorkload{
+		name: "host-store-heavy",
+		cfg: hostProfiles(workload.Profile{Name: "store_heavy", Class: workload.High,
+			MemRatio: 0.4, WriteFrac: 0.8, Footprint: 32 << 20, StreamFrac: 0.5, Streams: 4}),
+	}
+	lsqSat := ffWorkload{
+		name: "host-lsq-saturating",
+		cfg: hostProfiles(workload.Profile{Name: "lsq_sat", Class: workload.High,
+			MemRatio: 0.7, WriteFrac: 0.3, Footprint: 24 << 20, StreamFrac: 0.6, Streams: 8, DepFrac: 0.05}),
+	}
+	mixedStall := ffWorkload{
+		name: "mixed-stall-heavy-copy",
+		cfg:  hostProfiles(workload.StallHeavy()),
+		app: func(s *System) (func() (*ndart.Handle, error), error) {
+			a, err := apps.NewMicroPlaced(s.RT, "copy", (128<<10)/4, ndart.Private)
+			if err != nil {
+				return nil, err
+			}
+			return a.Iterate, nil
+		},
+	}
+	return []ffWorkload{hostOnly, ndaOnly, ndaCopy, mixed, mixedShared,
+		stallHeavy, storeHeavy, lsqSat, mixedStall}
 }
 
 // drive advances sys through segments cycles-long windows, relaunching
@@ -156,6 +192,86 @@ func TestRunFastMatchesRun(t *testing.T) {
 			for i := range slow {
 				if slow[i] != fast[i] {
 					t.Fatalf("segment %d diverged:\n slow: %s\n fast: %s", i, slow[i], fast[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRunFastMatchesRunRandomized fuzzes the equivalence with randomized
+// segment boundaries: StepFast must land exactly on arbitrary limits
+// (mid-stall-window, mid-burst, single-cycle segments) with state
+// bit-identical to the single-stepped reference at every boundary. The
+// stress trace profiles each drive a different blocked-core cause, so
+// this exercises every wake class of the core-skip machinery: head-wake
+// (ROB/LSQ), probe-stall epochs, controller hints, and NDA sleep
+// bounds.
+func TestRunFastMatchesRunRandomized(t *testing.T) {
+	stress := map[string]bool{
+		"host-stall-heavy":       true,
+		"host-store-heavy":       true,
+		"host-lsq-saturating":    true,
+		"mixed-stall-heavy-copy": true,
+		"mixed-mix3-copy-shared": true,
+	}
+	for wi, w := range ffWorkloads() {
+		if !stress[w.name] {
+			continue
+		}
+		t.Run(w.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(0xC0FFEE + int64(wi)))
+			var bounds []int64
+			cycle := int64(0)
+			for i := 0; i < 40; i++ {
+				cycle += 1 + rng.Int63n(2_500)
+				bounds = append(bounds, cycle)
+			}
+			run := func(fast bool) []string {
+				s, err := New(w.cfg())
+				if err != nil {
+					t.Fatal(err)
+				}
+				var it func() (*ndart.Handle, error)
+				if w.app != nil {
+					if it, err = w.app(s); err != nil {
+						t.Fatal(err)
+					}
+				}
+				var h *ndart.Handle
+				relaunch := func() {
+					if it == nil {
+						return
+					}
+					if h == nil || h.Done() {
+						if h, err = it(); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				relaunch()
+				var snaps []string
+				for _, end := range bounds {
+					for s.Now() < end {
+						if fast {
+							s.StepFast(end)
+						} else {
+							s.Tick()
+						}
+						relaunch()
+					}
+					if s.Now() != end {
+						t.Fatalf("overshot boundary: at %d, want %d", s.Now(), end)
+					}
+					snaps = append(snaps, snapshot(s))
+				}
+				return snaps
+			}
+			slow := run(false)
+			fast := run(true)
+			for i := range slow {
+				if slow[i] != fast[i] {
+					t.Fatalf("random boundary %d (cycle %d) diverged:\n slow: %s\n fast: %s",
+						i, bounds[i], slow[i], fast[i])
 				}
 			}
 		})

@@ -74,6 +74,13 @@ var goldenWant = map[string]string{
 	"nda-only-copy-stochastic": "ipc=0 blocks=10179 busy=0 rd=0 wr=4 ndard=6639 ndawr=6169",
 	"mixed-mix1-dot":           "ipc=1.0024599877000615 blocks=6130 busy=39062 rd=11002 wr=4 ndard=7551 ndawr=0",
 	"mixed-mix3-copy-shared":   "ipc=1.1588942055289724 blocks=2262 busy=38213 rd=10644 wr=4 ndard=1664 ndawr=1361",
+	// Stall-window stress shapes for the PR 3 core-skip machinery,
+	// pinned from the reference cycle-by-cycle path (unchanged since the
+	// seed): the wake-driven scheduler must reproduce these exactly.
+	"host-stall-heavy":       "ipc=0.16807415962920186 blocks=0 busy=40473 rd=11366 wr=0 ndard=0 ndawr=0",
+	"host-store-heavy":       "ipc=0.6050669746651267 blocks=0 busy=39835 rd=11195 wr=0 ndard=0 ndawr=0",
+	"host-lsq-saturating":    "ipc=0.4121079394603027 blocks=0 busy=40267 rd=11277 wr=0 ndard=0 ndawr=0",
+	"mixed-stall-heavy-copy": "ipc=0.14947425262873687 blocks=4345 busy=36885 rd=10233 wr=4 ndard=2775 ndawr=2617",
 }
 
 // TestGoldenStats asserts exact HostIPC / NDABlocks / HostBusyCycles

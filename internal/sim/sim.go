@@ -26,6 +26,10 @@ const (
 	cpuDivisor = 3
 )
 
+// notSurveyed marks a stashed wake bound the survey did not derive
+// (it early-outed on an active core); the tick recomputes it.
+const notSurveyed = int64(-1)
+
 // DRAMHz is the DDR4-2400 bus clock.
 const DRAMHz = 1.2e9
 
@@ -42,6 +46,11 @@ type Config struct {
 	// MixIndex selects the Table II host application mix; -1 disables
 	// host traffic entirely.
 	MixIndex int
+
+	// HostProfiles, when non-empty, overrides MixIndex with an explicit
+	// per-core workload list (one core per profile). Used by stress and
+	// equivalence harnesses that need traffic shapes outside Table II.
+	HostProfiles []workload.Profile
 
 	Core cpu.Config
 	MC   mc.Config
@@ -90,6 +99,29 @@ type System struct {
 	cpuCycle  int64
 	credit    int
 
+	// Wake-schedule caches for the fast path (StepFast/RunFast); Run
+	// never consults them. Each controller's next-event bound is cached
+	// until the controller itself is ticked (mcStale), an external call
+	// mutates it (Ver), or a DRAM command moves its channel's timing
+	// horizons (Mem.ChVer — NDA traffic shifts horizons the controller
+	// schedules against). coreDue is per-tick scratch for the dispatch
+	// loop; coreEpoch records the memory epoch (hierarchy version plus
+	// controller versions) under which each probe-stalled core last
+	// evaluated its retry, so the retry re-runs only when the epoch
+	// moves.
+	mcWake    []int64
+	mcVer     []uint64
+	mcMemVer  []uint64
+	mcStale   []bool
+	coreDue   []bool
+	coreEpoch []uint64
+
+	// stepNDAWake/stepRTWake carry the survey's NDA and runtime bounds
+	// into the same step's tick (notSurveyed when the survey early-outed
+	// before deriving them).
+	stepNDAWake int64
+	stepRTWake  int64
+
 	measStartDRAM int64
 	measStartCPU  int64
 	retiredAtMeas []int64
@@ -117,10 +149,13 @@ func New(cfg Config) (*System, error) {
 	}
 	s.Router = mc.NewRouter(s.MCs, mapper, func() int64 { return s.dramCycle })
 
-	if cfg.MixIndex >= 0 {
-		profs, err := workload.MixProfiles(cfg.MixIndex)
-		if err != nil {
-			return nil, err
+	if cfg.MixIndex >= 0 || len(cfg.HostProfiles) > 0 {
+		profs := cfg.HostProfiles
+		if len(profs) == 0 {
+			var err error
+			if profs, err = workload.MixProfiles(cfg.MixIndex); err != nil {
+				return nil, err
+			}
 		}
 		s.Hier = cache.NewHierarchy(cache.DefaultHierarchyConfig(len(profs)), s.Router, s)
 		for i, p := range profs {
@@ -139,7 +174,29 @@ func New(cfg Config) (*System, error) {
 	s.RT.MaxBlocksPerInstr = cfg.MaxBlocksPerInstr
 	s.RT.ModelLaunches = cfg.ModelLaunches
 	s.retiredAtMeas = make([]int64, len(s.Cores))
+	s.mcWake = make([]int64, len(s.MCs))
+	s.mcVer = make([]uint64, len(s.MCs))
+	s.mcMemVer = make([]uint64, len(s.MCs))
+	s.mcStale = make([]bool, len(s.MCs))
+	for i := range s.mcStale {
+		s.mcStale[i] = true
+	}
+	s.coreDue = make([]bool, len(s.Cores))
+	s.coreEpoch = make([]uint64, len(s.Cores))
 	return s, nil
+}
+
+// rdSum counts read dequeues across controllers: the only controller
+// activity that can change a probe-stalled core's retry outcome (read-
+// queue space frees on a read issue; writes are never refused). Row
+// commands and write drains cannot unstall a core, so they do not move
+// the epoch.
+func (s *System) rdSum() uint64 {
+	var e uint64
+	for _, c := range s.MCs {
+		e += uint64(c.ReadsIssued)
+	}
+	return e
 }
 
 // CPUOfDRAM implements cache.Clock.
@@ -178,59 +235,279 @@ func (s *System) Run(n int64) {
 	}
 }
 
+// dramOfCPU returns the DRAM cycle whose Tick executes CPU cycle w —
+// the inverse of the credit arithmetic in Tick and skipIdle. For
+// w <= CPUNow() it returns the current DRAM cycle.
+func (s *System) dramOfCPU(w int64) int64 {
+	if w <= s.cpuCycle {
+		return s.dramCycle
+	}
+	// After k DRAM ticks, (credit + k*cpuCredit) / cpuDivisor CPU ticks
+	// have run; the smallest k covering w is the ceiling below.
+	need := cpuDivisor*(w-s.cpuCycle+1) - int64(s.credit)
+	k := (need + cpuCredit - 1) / cpuCredit
+	if k < 1 {
+		k = 1
+	}
+	return s.dramCycle + k - 1
+}
+
 // NextEvent returns the earliest DRAM cycle >= Now() at which any
 // component can change state. Every cycle in [Now(), NextEvent()) is
 // provably idle: executing Tick there would neither issue a command nor
-// mutate any observable counter, so the clock may jump over the window.
-func (s *System) NextEvent() int64 {
-	// Trace-driven cores always have work and force cycle-by-cycle
-	// execution (each core's next CPU event is the current CPU cycle).
+// mutate any observable counter (blocked cores' cycle counters are
+// reproduced arithmetically by skipIdle), so the clock may jump over
+// the window. Blocked cores contribute their exact wake cycle; a core
+// blocked on an outstanding miss or a hierarchy Stall is woken by the
+// controller event that resolves it, which the controller bounds
+// report. It delegates to the cache-maintained survey StepFast uses —
+// one implementation, so the two cannot drift; touching the wake
+// caches is safe from any caller (they revalidate by version), and the
+// stashed NDA/runtime bounds are re-derived by StepFast's own survey
+// before any tick consumes them.
+func (s *System) NextEvent() int64 { return s.nextEventFast() }
+
+// mcNext returns controller i's cached next-event bound, recomputing it
+// only when a version it was derived from moved (the controller's own,
+// or its channel's DRAM command counter) or the controller was ticked
+// since. An unexpired cached bound is served as-is and an expired one
+// clamps to now (the controller is due) — both without touching the
+// controller, so the FR-FCFS horizon sweep runs once per blocked
+// window, not once per cycle.
+func (s *System) mcNext(i int, now int64) int64 {
+	c := s.MCs[i]
+	if !s.mcStale[i] && s.mcWake[i] <= now {
+		return now // due regardless of newer mutations; the tick refreshes
+	}
+	if s.mcStale[i] || s.mcVer[i] != c.Ver() || s.mcMemVer[i] != s.Mem.ChVer(c.Channel()) {
+		s.mcWake[i] = c.NextEvent(now)
+		s.mcVer[i] = c.Ver()
+		s.mcMemVer[i] = s.Mem.ChVer(c.Channel())
+		s.mcStale[i] = false
+	}
+	if s.mcWake[i] < now {
+		return now
+	}
+	return s.mcWake[i]
+}
+
+// nextEventFast is NextEvent over the incrementally maintained wake
+// schedule: identical values, but controller bounds come from the
+// per-controller cache. The NDA and runtime bounds it derives are
+// stashed (stepNDAWake/stepRTWake) for the tick that follows, valid
+// because nothing mutates between the survey and the tick; a survey
+// that early-outs on an active core stashes the not-surveyed sentinel
+// instead.
+func (s *System) nextEventFast() int64 {
+	now := s.dramCycle
+	s.stepNDAWake, s.stepRTWake = notSurveyed, notSurveyed
+	next := dram.Never
 	for _, core := range s.Cores {
-		if core.NextEvent(s.cpuCycle) <= s.cpuCycle {
-			return s.dramCycle
+		w := core.NextEvent(s.cpuCycle)
+		if w <= s.cpuCycle {
+			return now
+		}
+		if w < dram.Never {
+			if d := s.dramOfCPU(w); d < next {
+				next = d
+			}
 		}
 	}
-	next := dram.Never
-	for _, c := range s.MCs {
-		if t := c.NextEvent(s.dramCycle); t < next {
+	for i := range s.MCs {
+		if t := s.mcNext(i, now); t < next {
 			next = t
 		}
 	}
-	if t := s.NDA.NextEvent(s.dramCycle); t < next {
-		next = t
+	s.stepNDAWake = s.NDA.NextEvent(now)
+	if s.stepNDAWake < next {
+		next = s.stepNDAWake
 	}
-	if t := s.RT.NextEvent(s.dramCycle); t < next {
-		next = t
+	s.stepRTWake = s.RT.NextEvent(now)
+	if s.stepRTWake < next {
+		next = s.stepRTWake
 	}
-	if next < s.dramCycle {
-		next = s.dramCycle
+	if next < now {
+		next = now
 	}
 	return next
 }
 
 // skipIdle advances the clocks over k provably-idle DRAM cycles without
-// ticking, reproducing Tick's CPU-credit arithmetic exactly.
+// ticking, reproducing Tick's CPU-credit arithmetic exactly. Every core
+// is blocked across the window (an active core pins NextEvent to now),
+// so their cycle counters advance by the skipped CPU tick count —
+// exactly what executing the idle ticks would have done.
 func (s *System) skipIdle(k int64) {
 	s.dramCycle += k
 	total := int64(s.credit) + k*cpuCredit
-	s.cpuCycle += total / cpuDivisor
+	dcpu := total / cpuDivisor
+	s.cpuCycle += dcpu
 	s.credit = int(total % cpuDivisor)
+	if dcpu > 0 {
+		for _, core := range s.Cores {
+			core.SkipCycles(dcpu)
+		}
+	}
+}
+
+// tickDue advances the system one DRAM cycle, dispatching only due
+// components. It is Tick with skips that are individually proven
+// no-ops:
+//
+//   - A controller whose cached bound lies ahead cannot schedule
+//     anything this cycle (the mc.NextEvent contract); only its
+//     per-cycle issued-rank scratch must be reset for the NDA hooks.
+//   - The NDA engine and runtime are skipped when their NextEvent lies
+//     ahead (disturbance folds into Engine.NextEvent).
+//   - A blocked, non-probe-stalled core whose wake lies at or beyond
+//     this tick's CPU window cannot retire or issue in it; its cycle
+//     counter advances arithmetically. Probe-stalled cores always run:
+//     an executed cycle means some component may have mutated the
+//     memory state their retry probes.
+//
+// Dispatch order matches Tick exactly: controllers, NDA, runtime, then
+// the CPU-credit loop with cores in index order.
+func (s *System) tickDue() {
+	now := s.dramCycle
+	mcTicked := false
+	for i, c := range s.MCs {
+		// Dispatch straight off the cached bound: due when it expired
+		// or when any derivation input moved (ticking on a stale bound
+		// is always exact — only skipping needs the proof).
+		if s.mcStale[i] || s.mcWake[i] <= now || s.mcVer[i] != c.Ver() ||
+			s.mcMemVer[i] != s.Mem.ChVer(c.Channel()) {
+			c.Tick(now)
+			s.mcStale[i] = true
+			mcTicked = true
+		} else {
+			c.ClearIssued()
+		}
+	}
+	// The NDA engine runs when due — and, regardless of its bound, on
+	// any cycle a host controller issued a command to a rank with NDA
+	// work: the rank's yield (and its StallsHost accounting) happens on
+	// that very cycle, and pure sleep bounds rely on being invalidated
+	// here (a host command moves the rank's horizons and may close its
+	// row). The survey's stashed bound is reused only when no
+	// controller ticked this cycle: a controller tick can mutate the
+	// inputs an impure bound was derived from (a dequeue flipping the
+	// oldest-read rank, say), and NextEvent's version revalidation must
+	// see the post-tick state.
+	ndaWake := s.stepNDAWake
+	if ndaWake == notSurveyed || mcTicked {
+		ndaWake = s.NDA.NextEvent(now)
+	}
+	ndaDue := ndaWake <= now
+	if !ndaDue {
+		for _, c := range s.MCs {
+			if r := c.HostIssuedRank(); r >= 0 && s.NDA.RankBusy(c.Channel(), r) {
+				ndaDue = true
+				break
+			}
+		}
+	}
+	if ndaDue {
+		s.NDA.Tick(now)
+	}
+	rtWake := s.stepRTWake
+	if rtWake == notSurveyed {
+		rtWake = s.RT.NextEvent(now)
+	}
+	if rtWake <= now {
+		s.RT.Tick(now)
+	}
+	s.credit += cpuCredit
+	m := int64(0)
+	for s.credit >= cpuDivisor {
+		s.credit -= cpuDivisor
+		m++
+	}
+	cEnd := s.cpuCycle + m
+	// Core dispatch. Active cores and cores whose wake falls inside this
+	// tick's CPU window run every sub-cycle, exactly as in Tick. A
+	// probe-stalled core runs a sub-cycle only when the memory epoch —
+	// hierarchy version plus read dequeues, everything its retry probe
+	// reads — moved since the epoch recorded just before its previous
+	// probe; otherwise the probe provably re-stalls (the Stall contract)
+	// and the sub-cycle reduces to its cycle counter. The epoch is
+	// re-read per core per sub-cycle, so a mutation by an
+	// earlier-dispatched core re-probes later cores in the same order
+	// the reference interleaving would. Other blocked cores cannot
+	// change state before their wake and skip the window arithmetically.
+	rd := s.rdSum()
+	anyDue := false
+	for i, core := range s.Cores {
+		due := !core.Blocked() || core.WakeCycle() < cEnd
+		s.coreDue[i] = due
+		anyDue = anyDue || due
+	}
+	if !anyDue {
+		bulk := true
+		e := uint64(0)
+		if s.Hier != nil {
+			e = rd + s.Hier.Ver()
+		}
+		for i, core := range s.Cores {
+			if core.ProbeStalled() && e != s.coreEpoch[i] {
+				// Leave the core to the sub-cycle probe branch below,
+				// which re-probes and records the observed epoch.
+				bulk = false
+				break
+			}
+		}
+		if bulk {
+			// No core runs this window at all: no mid-window mutation
+			// is possible, every sub-cycle of every core is a proven
+			// no-op, and the whole window reduces to arithmetic.
+			for _, core := range s.Cores {
+				core.SkipCycles(m)
+			}
+			s.cpuCycle = cEnd
+			s.dramCycle++
+			return
+		}
+	}
+	for cc := s.cpuCycle; cc < cEnd; cc++ {
+		for i, core := range s.Cores {
+			if s.coreDue[i] {
+				core.Tick(cc)
+				continue
+			}
+			if core.ProbeStalled() {
+				e := rd + s.Hier.Ver()
+				if e != s.coreEpoch[i] {
+					core.Tick(cc)
+					if core.Blocked() && core.ProbeStalled() {
+						s.coreEpoch[i] = e
+					} else {
+						// Progressed or changed kind: reference
+						// semantics for the rest of the window.
+						s.coreDue[i] = true
+					}
+					continue
+				}
+			}
+			core.SkipCycles(1)
+		}
+	}
+	s.cpuCycle = cEnd
+	s.dramCycle++
 }
 
 // StepFast advances the system to its next event (clamped to limit) and
-// executes one Tick there if the event lies before limit. It always
-// makes progress; state after reaching any cycle is bit-identical to
-// ticking every cycle.
+// executes one wake-dispatched tick there if the event lies before
+// limit. It always makes progress; state after reaching any cycle is
+// bit-identical to ticking every cycle.
 func (s *System) StepFast(limit int64) {
 	s.NDA.SetFastForward(true)
-	if next := s.NextEvent(); next > s.dramCycle {
+	if next := s.nextEventFast(); next > s.dramCycle {
 		if next > limit {
 			next = limit
 		}
 		s.skipIdle(next - s.dramCycle)
 	}
 	if s.dramCycle < limit {
-		s.Tick()
+		s.tickDue()
 	}
 }
 

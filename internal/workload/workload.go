@@ -47,6 +47,12 @@ type Profile struct {
 	Footprint  uint64  // working-set bytes
 	StreamFrac float64 // fraction of memory ops on sequential streams
 	Streams    int     // concurrent sequential streams
+
+	// DepFrac, when positive, overrides the default dependency-chain
+	// fraction (depFrac): the probability an instruction heads a chain
+	// and issues alone. Values near 1 model serialize-heavy, low-ILP
+	// code whose cores spend most of their time blocked on memory.
+	DepFrac float64
 }
 
 // Profiles maps every benchmark named in Table II to its traffic model.
@@ -96,6 +102,7 @@ func MixName(i int) string { return fmt.Sprintf("mix%d", i) }
 type Generator struct {
 	prof Profile
 	rng  *rand.Rand
+	dep  float64
 
 	base    uint64 // physical base of this instance's region
 	size    uint64
@@ -109,7 +116,10 @@ func NewGenerator(prof Profile, base, size uint64, seed int64) *Generator {
 	if size == 0 {
 		panic("workload: zero-sized region")
 	}
-	g := &Generator{prof: prof, rng: rand.New(rand.NewSource(seed)), base: base, size: size}
+	g := &Generator{prof: prof, rng: rand.New(rand.NewSource(seed)), dep: depFrac, base: base, size: size}
+	if prof.DepFrac > 0 {
+		g.dep = prof.DepFrac
+	}
 	if g.prof.Footprint > size {
 		g.prof.Footprint = size
 	}
@@ -130,7 +140,7 @@ const depFrac = 0.35
 
 // Next implements cpu.TraceSource.
 func (g *Generator) Next() cpu.Instr {
-	ser := g.rng.Float64() < depFrac
+	ser := g.rng.Float64() < g.dep
 	if g.rng.Float64() >= g.prof.MemRatio {
 		return cpu.Instr{Serialize: ser}
 	}
@@ -148,6 +158,18 @@ func (g *Generator) Next() cpu.Instr {
 		Serialize: ser,
 		Addr:      g.base + off&^7,
 	}
+}
+
+// StallHeavy returns the synthetic profile behind BenchmarkHostStallHeavy
+// and the stall-window equivalence tests: serialize-heavy (DepFrac 0.9
+// caps issue at ~1 instruction/cycle) and almost purely LLC-defeating
+// random loads over a 64 MiB footprint (MemRatio 0.85), so a core fills
+// its L1 MSHRs within a few cycles of each fill burst and then sits
+// provably blocked on memory — the shape that maximizes the
+// fully-stalled windows the fast-forward machinery can skip.
+func StallHeavy() Profile {
+	return Profile{Name: "stall_heavy", Class: High, MemRatio: 0.85, WriteFrac: 0.05,
+		Footprint: 64 << 20, StreamFrac: 0.05, Streams: 2, DepFrac: 0.9}
 }
 
 // MixProfiles resolves mix index i to its benchmark profiles.

@@ -1,10 +1,18 @@
 #!/usr/bin/env bash
 # bench.sh — run the host-path benchmarks and emit a machine-readable
-# snapshot of the perf trajectory (BENCH_PR2.json).
+# snapshot of the perf trajectory (BENCH_PR<N>.json).
 #
-# Usage: scripts/bench.sh [benchtime] [output.json]
-#   benchtime    go test -benchtime value (default 5x; CI smoke uses 1x)
-#   output.json  destination (default BENCH_PR2.json in the repo root)
+# Usage: scripts/bench.sh [benchtime] [pr-number|output.json]
+#   benchtime       go test -benchtime value (default 5x; CI smoke uses 1x)
+#   pr-number       PR the snapshot belongs to; the output name is derived
+#                   as BENCH_PR<N>.json (default: 3). An argument ending
+#                   in .json is used as the output path verbatim (its PR
+#                   number is parsed from the name when possible).
+#
+# The baseline block comes from the newest committed BENCH_PR*.json
+# older than the target PR (so each PR's snapshot carries its
+# predecessor's numbers), except PR 3, whose baseline is the
+# interleaved same-machine PR2-vs-PR3 measurement recorded below.
 #
 # The script fails if BenchmarkMixedHostNDA reports any steady-state
 # allocations in the tick loop (the allocation-free contract also pinned
@@ -13,51 +21,107 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-5x}"
-OUT="${2:-BENCH_PR2.json}"
+TARGET="${2:-3}"
+case "$TARGET" in
+*.json) OUT="$TARGET"; PR="$(echo "$TARGET" | sed -n 's/.*BENCH_PR\([0-9][0-9]*\).*/\1/p')" ;;
+*) PR="$TARGET"; OUT="BENCH_PR${PR}.json" ;;
+esac
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run '^$' -bench 'BenchmarkMixedHostNDA$|BenchmarkFig11BankPartitioning$' \
+go test -run '^$' \
+    -bench 'BenchmarkMixedHostNDA$|BenchmarkHostStallHeavy$|BenchmarkFig11BankPartitioning$' \
     -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
 
-awk -v benchtime="$BENCHTIME" -v rev="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
-/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)
-    sub(/^Benchmark/, "", name)
-    ns = $3
-    allocs = "null"
-    for (i = 4; i <= NF; i++) {
-        if ($(i) == "allocs/op") allocs = $(i - 1)
-    }
-    results[name] = "{\"ns_per_op\": " ns ", \"allocs_per_op\": " allocs "}"
-    if (name == "MixedHostNDA" && allocs != "null" && allocs + 0 != 0) {
-        printf "bench.sh: FAIL: MixedHostNDA steady-state tick loop allocates (%s allocs/op, want 0)\n", allocs > "/dev/stderr"
-        bad = 1
-    }
-    order[n++] = name
+BENCH_RAW="$RAW" BENCH_OUT="$OUT" BENCH_PR="$PR" BENCH_TIME="$BENCHTIME" \
+    BENCH_GIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    python3 - <<'EOF'
+import glob, json, os, re, sys
+
+raw = open(os.environ["BENCH_RAW"]).read()
+out = os.environ["BENCH_OUT"]
+pr = os.environ["BENCH_PR"]
+pr = int(pr) if pr else None
+
+cpu = ""
+benches = {}
+order = []
+for line in raw.splitlines():
+    if line.startswith("cpu:"):
+        cpu = line[len("cpu:"):].strip()
+    m = re.match(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(.*)$", line)
+    if m:
+        name = m.group(1)[len("Benchmark"):]
+        entry = {"ns_per_op": int(float(m.group(2))), "allocs_per_op": None}
+        am = re.search(r"(\d+) allocs/op", m.group(3))
+        if am:
+            entry["allocs_per_op"] = int(am.group(1))
+        benches[name] = entry
+        order.append(name)
+if not benches:
+    sys.exit("bench.sh: no benchmark results parsed")
+
+# PR 3's baseline is the interleaved same-machine PR2-vs-PR3 run (PR2
+# code c3a05e4; HostStallHeavy did not exist at PR2 — its number is the
+# same workload on the pre-refactor PR3 tree). Later PRs inherit the
+# newest committed snapshot older than them.
+PR3_BASELINE = {
+    "note": "PR2 code (c3a05e4) interleaved with PR3 on the same machine/flags, "
+            "benchtime 5x; MixedHostNDA is directly comparable (same workload and "
+            "cycle count). HostStallHeavy did not exist at PR2 — its baseline is "
+            "the same workload measured on the pre-refactor PR3 tree.",
+    "MixedHostNDA": {"ns_per_op": 225623026, "allocs_per_op": 0},
+    "HostStallHeavy": {"ns_per_op": 222278725, "allocs_per_op": None},
+    "Fig11BankPartitioning": {"ns_per_op": 1335775276, "allocs_per_op": None},
 }
-END {
-    if (n == 0) { print "bench.sh: no benchmark results parsed" > "/dev/stderr"; exit 1 }
-    printf "{\n"
-    printf "  \"pr\": 2,\n"
-    printf "  \"description\": \"host-traffic hot path: incremental FR-FCFS + cached DRAM horizons + allocation-free tick loop\",\n"
-    printf "  \"git\": \"%s\",\n", rev
-    printf "  \"benchtime\": \"%s\",\n", benchtime
-    printf "  \"cpu\": \"%s\",\n", cpu
-    printf "  \"baseline_main\": {\n"
-    printf "    \"note\": \"measured at PR2 on main (c3a05e4), same machine/flags, benchtime 5x\",\n"
-    printf "    \"MixedHostNDA\": {\"ns_per_op\": 344651834, \"allocs_per_op\": 1321008},\n"
-    printf "    \"Fig11BankPartitioning\": {\"ns_per_op\": 2055239840, \"allocs_per_op\": null}\n"
-    printf "  },\n"
-    printf "  \"benchmarks\": {\n"
-    for (i = 0; i < n; i++) {
-        printf "    \"%s\": %s%s\n", order[i], results[order[i]], (i < n - 1 ? "," : "")
-    }
-    printf "  }\n"
-    printf "}\n"
-    exit bad
-}' "$RAW" > "$OUT"
+
+def committed_before(pr):
+    best = None
+    for f in glob.glob("BENCH_PR*.json"):
+        if os.path.abspath(f) == os.path.abspath(out):
+            continue
+        m = re.match(r"BENCH_PR(\d+)\.json$", os.path.basename(f))
+        if not m:
+            continue
+        n = int(m.group(1))
+        if (pr is None or n < pr) and (best is None or n > best[0]):
+            best = (n, f)
+    return best
+
+baseline = None
+if pr == 3:
+    baseline = PR3_BASELINE
+else:
+    prev = committed_before(pr)
+    if prev:
+        n, f = prev
+        snap = json.load(open(f))
+        baseline = {"note": f"benchmarks of the latest committed snapshot, {f} "
+                            f"(PR {n}, cpu: {snap.get('cpu', 'unknown')}); raw ns/op "
+                            f"is only comparable on the same machine"}
+        baseline.update(snap.get("benchmarks", {}))
+
+doc = {
+    "pr": pr,
+    "description": "host-path perf trajectory snapshot"
+                   + (f" at PR {pr}" if pr is not None else "")
+                   + " (see CHANGES.md for what each PR changed)",
+    "git": os.environ["BENCH_GIT"],
+    "benchtime": os.environ["BENCH_TIME"],
+    "cpu": cpu,
+}
+if baseline:
+    doc["baseline"] = baseline
+doc["benchmarks"] = {name: benches[name] for name in order}
+
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+allocs = benches.get("MixedHostNDA", {}).get("allocs_per_op")
+if allocs not in (None, 0):
+    sys.exit(f"bench.sh: FAIL: MixedHostNDA steady-state loop allocates "
+             f"({allocs} allocs/op, want 0)")
+EOF
 
 echo "bench.sh: wrote $OUT"

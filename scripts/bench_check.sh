@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# bench_check.sh — compare a fresh bench.sh snapshot against the latest
+# committed BENCH_PR*.json and fail on per-benchmark ns/op regressions
+# beyond a generous threshold.
+#
+# Usage: scripts/bench_check.sh <fresh.json> [threshold]
+#   fresh.json   snapshot produced by scripts/bench.sh on this machine
+#   threshold    allowed relative slowdown (default 1.25 = +25%)
+#
+# CI machines differ in speed from the machine that produced the
+# committed snapshot, so raw ns/op is not comparable. The check
+# normalizes by machine speed: it takes the *median* fresh/committed
+# ratio across shared benchmarks as the machine factor (if everything
+# slowed uniformly, that factor is the slowdown and every normalized
+# ratio is ~1; anchoring on the median rather than the minimum keeps a
+# PR that disproportionately speeds up one benchmark from flagging the
+# others as false regressions), then fails any benchmark whose
+# normalized ratio exceeds the threshold — i.e., a benchmark that
+# regressed relative to its peers. A uniform slowdown of the whole
+# suite cannot be told apart from a slower machine and deliberately
+# passes; the per-PR committed snapshots (same machine, interleaved
+# baseline) are the authoritative absolute record.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FRESH="${1:?usage: bench_check.sh <fresh.json> [threshold]}"
+THRESH="${2:-1.25}"
+LATEST="$(ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1 || true)"
+if [ -z "$LATEST" ]; then
+    echo "bench_check.sh: no committed BENCH_PR*.json to compare against; skipping"
+    exit 0
+fi
+
+python3 - "$FRESH" "$LATEST" "$THRESH" <<'EOF'
+import json, statistics, sys
+
+fresh, committed, thresh = sys.argv[1], sys.argv[2], float(sys.argv[3])
+f = json.load(open(fresh))["benchmarks"]
+c = json.load(open(committed))["benchmarks"]
+
+shared = sorted(set(f) & set(c))
+ratios = {}
+for name in shared:
+    fn, cn = f[name].get("ns_per_op"), c[name].get("ns_per_op")
+    if fn and cn:
+        ratios[name] = fn / cn
+if not ratios:
+    print(f"bench_check.sh: no shared benchmarks between {fresh} and {committed}; skipping")
+    sys.exit(0)
+
+factor = statistics.median(ratios.values())
+print(f"bench_check.sh: comparing {fresh} vs {committed} "
+      f"(machine factor {factor:.2f}, threshold +{(thresh - 1) * 100:.0f}%)")
+bad = False
+for name, r in sorted(ratios.items()):
+    norm = r / factor
+    flag = "FAIL" if norm > thresh else "ok"
+    print(f"  {name}: raw x{r:.2f}, normalized x{norm:.2f} [{flag}]")
+    if norm > thresh:
+        bad = True
+
+# The allocation gate is absolute: MixedHostNDA's steady-state loop must
+# stay allocation-free on any machine.
+allocs = f.get("MixedHostNDA", {}).get("allocs_per_op")
+if allocs not in (None, 0):
+    print(f"  MixedHostNDA: {allocs} allocs/op, want 0 [FAIL]")
+    bad = True
+
+sys.exit(1 if bad else 0)
+EOF
