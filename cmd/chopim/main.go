@@ -4,14 +4,19 @@
 //
 // Usage:
 //
-//	chopim [-quick] [-warm N] [-measure N] [-parallel N]
+//	chopim [-quick] [-warm N] [-measure N] [-parallel N] [-sim-workers N]
 //	       [-cpuprofile F] [-memprofile F] <experiment>
 //
 // Experiments: fig2 fig10 fig11 fig12 fig13 fig14 fig15a fig15b power
 // config all
 //
 // -parallel N shards each figure's independent simulation points across
-// N workers (-1 = all CPUs). Tables are identical for every N.
+// N workers (-1 = all CPUs). -sim-workers N additionally parallelizes
+// *within* each simulation point: every executed tick's per-channel
+// memory phase fans its channel domains across N goroutines (see
+// DESIGN.md §2.5). Tables are identical for every setting of both
+// flags; they compose, but multiplying them oversubscribes small
+// machines, so raise one at a time.
 //
 // -cpuprofile / -memprofile write pprof profiles covering the selected
 // experiment (see README.md, "Profiling").
@@ -40,6 +45,7 @@ func run() int {
 	warm := flag.Int64("warm", 0, "warm-up cycles (0 = default)")
 	measure := flag.Int64("measure", 0, "measurement cycles (0 = default)")
 	parallel := flag.Int("parallel", -1, "workers for independent simulation points (-1 = all CPUs, 1 = serial)")
+	simWorkers := flag.Int("sim-workers", 1, "channel-domain workers inside each simulation (1 = inline memory phase, -1 = all CPUs, clamped to channels)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Usage = func() {
@@ -93,6 +99,7 @@ func run() int {
 		opt.MeasureCycles = *measure
 	}
 	opt.Parallel = *parallel
+	opt.SimWorkers = *simWorkers
 
 	cmds := map[string]func(experiments.Options) error{
 		"fig2":   runFig2,

@@ -82,9 +82,10 @@ type Hierarchy struct {
 	backend Backend
 	clock   Clock
 
-	pending    map[uint64]*mshr // LLC MSHRs keyed by block
-	mshrFree   *mshr            // pooled MSHR nodes
-	l1Pending  []int            // outstanding misses per core (L1 MSHR limit)
+	pending    *pendingTable // LLC MSHRs keyed by block (fixed-capacity)
+	mshrFree   *mshr         // pooled MSHR nodes
+	maxWaiters int           // waiter-slice capacity bound (see NewHierarchy)
+	l1Pending  []int         // outstanding misses per core (L1 MSHR limit)
 	prefetch   []strideState
 	Prefetches int64
 	Demand     int64
@@ -109,10 +110,19 @@ func (h *Hierarchy) allocMSHR(core int, block uint64, dirty, prefetch bool) *msh
 		h.mshrFree = m.next
 		m.next = nil
 	} else {
-		m = &mshr{}
-		m.fill = func(dramDone int64) { h.onFill(m, dramDone) }
+		m = h.newMSHR()
 	}
 	m.core, m.block, m.dirty, m.prefetch = core, block, dirty, prefetch
+	return m
+}
+
+// newMSHR builds one pool node with its fill callback and a waiter
+// slice pre-sized to the config bound, so the node never allocates
+// again: waiters per MSHR are capped by the per-core L1 MSHR budgets
+// (every waiter holds one l1Pending slot).
+func (h *Hierarchy) newMSHR() *mshr {
+	m := &mshr{waiters: make([]waiter, 0, h.maxWaiters)}
+	m.fill = func(dramDone int64) { h.onFill(m, dramDone) }
 	return m
 }
 
@@ -126,20 +136,32 @@ func (h *Hierarchy) freeMSHR(m *mshr) {
 	h.mshrFree = m
 }
 
-// NewHierarchy builds the hierarchy over the given backend.
+// NewHierarchy builds the hierarchy over the given backend. The MSHR
+// machinery is pre-sized to its config bounds — the pending map to the
+// LLC MSHR count its occupancy can never exceed, the node pool to that
+// same count, and each node's waiter slice to the per-core L1 MSHR
+// budgets — so the miss path performs no late growth allocations even
+// under slow-warming random footprints (the stall-heavy zero-allocs
+// contract).
 func NewHierarchy(cfg HierarchyConfig, backend Backend, clock Clock) *Hierarchy {
 	h := &Hierarchy{
-		cfg:       cfg,
-		llc:       New(cfg.LLC),
-		backend:   backend,
-		clock:     clock,
-		pending:   make(map[uint64]*mshr),
-		l1Pending: make([]int, cfg.Cores),
-		prefetch:  make([]strideState, cfg.Cores),
+		cfg:        cfg,
+		llc:        New(cfg.LLC),
+		backend:    backend,
+		clock:      clock,
+		pending:    newPendingTable(cfg.LLC.MSHRs),
+		maxWaiters: cfg.Cores * cfg.L1.MSHRs,
+		l1Pending:  make([]int, cfg.Cores),
+		prefetch:   make([]strideState, cfg.Cores),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		h.l1 = append(h.l1, New(cfg.L1))
 		h.l2 = append(h.l2, New(cfg.L2))
+	}
+	for i := 0; i < cfg.LLC.MSHRs; i++ {
+		m := h.newMSHR()
+		m.next = h.mshrFree
+		h.mshrFree = m
 	}
 	return h
 }
@@ -182,7 +204,7 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool, done func(cpuDone 
 	}
 
 	// LLC miss. Merge into an existing MSHR if one covers the block.
-	if m, ok := h.pending[b]; ok {
+	if m := h.pending.get(b); m != nil {
 		if write {
 			// The eventual fill will be marked dirty by this store.
 			m.dirty = true
@@ -196,7 +218,7 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool, done func(cpuDone 
 		return Queued, 0
 	}
 
-	if len(h.pending) >= h.cfg.LLC.MSHRs {
+	if h.pending.len() >= h.cfg.LLC.MSHRs {
 		return h.stall(core)
 	}
 	if !write && h.l1Pending[core] >= h.cfg.L1.MSHRs {
@@ -215,7 +237,7 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool, done func(cpuDone 
 		h.freeMSHR(m)
 		return h.stall(core)
 	}
-	h.pending[b] = m
+	h.pending.put(b, m)
 	h.Demand++
 	h.maybePrefetch(core, addr)
 	if write {
@@ -241,7 +263,7 @@ func (h *Hierarchy) stall(core int) (Result, int64) {
 // cycle plus the LLC-to-core fill latency, releasing their L1 MSHR.
 func (h *Hierarchy) onFill(m *mshr, dramDone int64) {
 	h.ver++
-	delete(h.pending, m.block)
+	h.pending.del(m.block)
 	if m.prefetch {
 		if v, vd := h.llc.Insert(m.block, m.dirty); vd {
 			h.writeback(v)
@@ -333,10 +355,10 @@ func (h *Hierarchy) maybePrefetch(core int, addr uint64) {
 		if h.llc.Contains(pblock) {
 			continue
 		}
-		if _, busy := h.pending[pblock]; busy {
+		if h.pending.get(pblock) != nil {
 			continue
 		}
-		if len(h.pending) >= h.cfg.LLC.MSHRs {
+		if h.pending.len() >= h.cfg.LLC.MSHRs {
 			return
 		}
 		m := h.allocMSHR(core, pblock, false, true)
@@ -345,7 +367,7 @@ func (h *Hierarchy) maybePrefetch(core int, addr uint64) {
 			h.freeMSHR(m)
 			return
 		}
-		h.pending[pblock] = m
+		h.pending.put(pblock, m)
 		h.Prefetches++
 	}
 }

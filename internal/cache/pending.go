@@ -1,0 +1,104 @@
+package cache
+
+// pendingTable is a fixed-capacity open-addressed hash table mapping
+// block index -> in-flight MSHR. It replaces a Go map for the LLC
+// pending set because the zero-allocs steady-state contract needs a
+// structure that is genuinely pre-sized to its config bound: a map at
+// steady occupancy still reorganizes eventually under insert/delete
+// churn (overflow buckets accumulate until a same-size grow), which is
+// a heap allocation in the middle of a measured window. The table is
+// allocated once at 12.5% maximum load, uses linear probing with
+// backward-shift deletion (no tombstones, so probe chains never decay),
+// and performs zero allocations after construction.
+type pendingTable struct {
+	keys []uint64
+	vals []*mshr // nil marks an empty slot
+	mask uint64
+	n    int
+}
+
+// newPendingTable builds a table for at most bound live entries (the
+// LLC MSHR count). Sized at >= 8x the bound, probe chains stay a few
+// slots even in the worst case; the arrays for the default 48-MSHR
+// configuration total 6 KiB.
+func newPendingTable(bound int) *pendingTable {
+	size := 64
+	for size < 8*bound {
+		size <<= 1
+	}
+	return &pendingTable{
+		keys: make([]uint64, size),
+		vals: make([]*mshr, size),
+		mask: uint64(size - 1),
+	}
+}
+
+// home returns the key's preferred slot (Fibonacci hashing: block
+// indices are sequential-ish, so multiplicative scrambling matters).
+func (t *pendingTable) home(b uint64) uint64 {
+	return (b * 0x9E3779B97F4A7C15) & t.mask
+}
+
+// dist returns how far slot i is from the resident key's home slot.
+func (t *pendingTable) dist(i uint64) uint64 {
+	return (i - t.home(t.keys[i])) & t.mask
+}
+
+// len returns the number of live entries.
+func (t *pendingTable) len() int { return t.n }
+
+// get returns the MSHR for block b, or nil.
+func (t *pendingTable) get(b uint64) *mshr {
+	for i := t.home(b); t.vals[i] != nil; i = (i + 1) & t.mask {
+		if t.keys[i] == b {
+			return t.vals[i]
+		}
+	}
+	return nil
+}
+
+// put inserts b -> m. The caller ensures b is absent and the table has
+// room (occupancy is bounded by the MSHR limit checks in Access).
+func (t *pendingTable) put(b uint64, m *mshr) {
+	i := t.home(b)
+	for t.vals[i] != nil {
+		i = (i + 1) & t.mask
+	}
+	t.keys[i], t.vals[i] = b, m
+	t.n++
+}
+
+// del removes block b if present, closing the probe chain by shifting
+// displaced successors back toward their home slots (the standard
+// linear-probing deletion: scan forward from the freed slot; an element
+// moves into it iff its own probe path passes through it — i.e. its
+// displacement from home reaches at least back to the hole — and the
+// scan ends at the first empty slot).
+func (t *pendingTable) del(b uint64) {
+	i := t.home(b)
+	for {
+		if t.vals[i] == nil {
+			return
+		}
+		if t.keys[i] == b {
+			break
+		}
+		i = (i + 1) & t.mask
+	}
+	t.n--
+	j := i
+	for {
+		t.keys[i], t.vals[i] = 0, nil
+		for {
+			j = (j + 1) & t.mask
+			if t.vals[j] == nil {
+				return
+			}
+			if t.dist(j) >= ((j - i) & t.mask) {
+				break // j's probe path passes through the hole at i
+			}
+		}
+		t.keys[i], t.vals[i] = t.keys[j], t.vals[j]
+		i = j
+	}
+}

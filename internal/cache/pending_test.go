@@ -1,0 +1,52 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPendingTableMatchesMap churns the fixed-capacity table against a
+// reference map through bounded-occupancy insert/delete/lookup traffic
+// shaped like the LLC pending set (sequential-ish block keys, including
+// block 0), checking every lookup and the length on every step.
+func TestPendingTableMatchesMap(t *testing.T) {
+	const bound = 48
+	pt := newPendingTable(bound)
+	ref := make(map[uint64]*mshr)
+	rng := rand.New(rand.NewSource(1))
+	var live []uint64
+	for step := 0; step < 200_000; step++ {
+		b := uint64(rng.Intn(512)) // dense keys: heavy collisions
+		if rng.Intn(4) < 1 {
+			b = uint64(rng.Intn(1 << 30)) // occasionally far away
+		}
+		switch {
+		case len(ref) < bound && rng.Intn(2) == 0:
+			if ref[b] == nil {
+				m := &mshr{block: b}
+				ref[b] = m
+				pt.put(b, m)
+				live = append(live, b)
+			}
+		case len(live) > 0 && rng.Intn(2) == 0:
+			i := rng.Intn(len(live))
+			k := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			delete(ref, k)
+			pt.del(k)
+		default:
+			if got, want := pt.get(b), ref[b]; got != want {
+				t.Fatalf("step %d: get(%d) = %p, want %p", step, b, got, want)
+			}
+		}
+		if pt.len() != len(ref) {
+			t.Fatalf("step %d: len = %d, want %d", step, pt.len(), len(ref))
+		}
+	}
+	for k, want := range ref {
+		if got := pt.get(k); got != want {
+			t.Fatalf("final: get(%d) = %p, want %p", k, got, want)
+		}
+	}
+}

@@ -97,7 +97,7 @@ func runRandomSequence(t *testing.T, seed int64, steps int) {
 			}
 		}
 	}
-	if got := m.NumACT + m.NumPRE + m.NumRD + m.NumWR + m.NumNDARD + m.NumNDAWR; got != issued {
+	if got := m.Counts().ACT + m.Counts().PRE + m.Counts().RD + m.Counts().WR + m.Counts().NDARD + m.Counts().NDAWR; got != issued {
 		t.Fatalf("seed %d: counter total %d != issued %d", seed, got, issued)
 	}
 }

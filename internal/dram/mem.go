@@ -144,20 +144,43 @@ func (ch *chanState) extCol(cmd Command, rank int, t Timing) int64 {
 	return ch.extWRDiff
 }
 
+// CmdCounts aggregates issued-command counters for energy and
+// statistics. RD/WR are external (host) column commands; NDARD/NDAWR
+// are internal (NDA) column commands.
+type CmdCounts struct {
+	ACT, PRE     int64
+	RD, WR       int64
+	NDARD, NDAWR int64
+}
+
+// add accumulates o into c.
+func (c *CmdCounts) add(o CmdCounts) {
+	c.ACT += o.ACT
+	c.PRE += o.PRE
+	c.RD += o.RD
+	c.WR += o.WR
+	c.NDARD += o.NDARD
+	c.NDAWR += o.NDAWR
+}
+
 // Mem is the DDR4 memory system state machine. It validates and applies
 // command timing; it does not schedule. Controllers (host and NDA side)
 // call CanIssue/Issue.
+//
+// All mutable state — timing horizons, row state, command counters, and
+// the chVer versions — is held per channel, and Issue touches only the
+// addressed channel's share. Channels are therefore free of write
+// sharing, which is what lets the sim package tick channel domains on
+// concurrent workers.
 type Mem struct {
 	Geom Geometry
 	T    Timing
 
 	channels []chanState
 
-	// Counters for energy and statistics.
-	NumACT, NumPRE int64
-	NumRD, NumWR   int64 // external (host) column commands
-	NumNDARD       int64 // internal (NDA) column commands
-	NumNDAWR       int64
+	// cnts holds per-channel command counters (see CmdCounts); sharded
+	// so concurrent channel domains never write the same counter.
+	cnts []CmdCounts
 
 	// chVer counts issued commands per channel: a version for any
 	// conclusion cached from timing state (the system's per-controller
@@ -168,6 +191,18 @@ type Mem struct {
 	chVer []uint64
 }
 
+// Counts sums the per-channel command counters.
+func (m *Mem) Counts() CmdCounts {
+	var t CmdCounts
+	for i := range m.cnts {
+		t.add(m.cnts[i])
+	}
+	return t
+}
+
+// ChannelCounts returns one channel's command counters.
+func (m *Mem) ChannelCounts(ch int) CmdCounts { return m.cnts[ch] }
+
 // New builds a Mem with the given geometry and timing. It panics on
 // invalid configuration; configurations are programmer-supplied constants.
 func New(g Geometry, t Timing) *Mem {
@@ -177,7 +212,8 @@ func New(g Geometry, t Timing) *Mem {
 	if err := t.Validate(); err != nil {
 		panic(err)
 	}
-	m := &Mem{Geom: g, T: t, channels: make([]chanState, g.Channels), chVer: make([]uint64, g.Channels)}
+	m := &Mem{Geom: g, T: t, channels: make([]chanState, g.Channels),
+		cnts: make([]CmdCounts, g.Channels), chVer: make([]uint64, g.Channels)}
 	for c := range m.channels {
 		ch := &m.channels[c]
 		ch.ranks = make([]rankState, g.Ranks)
@@ -486,6 +522,7 @@ func (m *Mem) Issue(cmd Command, a Addr, now int64, internal bool) {
 	ch := &m.channels[a.Channel]
 	rk := &ch.ranks[a.Rank]
 	b := &rk.banks[a.GlobalBank(m.Geom)]
+	cn := &m.cnts[a.Channel]
 	m.chVer[a.Channel]++
 	rk.stamp++ // invalidate the rank's bank horizon caches
 
@@ -497,7 +534,7 @@ func (m *Mem) Issue(cmd Command, a Addr, now int64, internal bool) {
 
 	switch cmd {
 	case CmdACT:
-		m.NumACT++
+		cn.ACT++
 		b.open = true
 		b.row = a.Row
 		b.nextRD = now + int64(t.RCD)
@@ -516,15 +553,15 @@ func (m *Mem) Issue(cmd Command, a Addr, now int64, internal bool) {
 		rk.fawIdx = (rk.fawIdx + 1) % 4
 
 	case CmdPRE:
-		m.NumPRE++
+		cn.PRE++
 		b.open = false
 		maxi(&b.nextACT, now+int64(t.RP))
 
 	case CmdRD:
 		if internal {
-			m.NumNDARD++
+			cn.NDARD++
 		} else {
-			m.NumRD++
+			cn.RD++
 		}
 		maxi(&b.nextPRE, now+int64(t.RTP))
 		for g := range rk.bgs {
@@ -551,9 +588,9 @@ func (m *Mem) Issue(cmd Command, a Addr, now int64, internal bool) {
 
 	case CmdWR:
 		if internal {
-			m.NumNDAWR++
+			cn.NDAWR++
 		} else {
-			m.NumWR++
+			cn.WR++
 		}
 		maxi(&b.nextPRE, now+int64(t.CWL+t.BL+t.WR))
 		for g := range rk.bgs {

@@ -242,8 +242,8 @@ func TestInternalAccessSharesRankState(t *testing.T) {
 	if !m.CanIssue(CmdRD, b, hostRead, false) {
 		t.Error("host read blocked past NDA turnaround window")
 	}
-	if m.NumNDAWR != 1 || m.NumWR != 0 {
-		t.Errorf("command accounting wrong: NDAWR=%d WR=%d", m.NumNDAWR, m.NumWR)
+	if m.Counts().NDAWR != 1 || m.Counts().WR != 0 {
+		t.Errorf("command accounting wrong: NDAWR=%d WR=%d", m.Counts().NDAWR, m.Counts().WR)
 	}
 }
 

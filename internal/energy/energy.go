@@ -29,10 +29,17 @@ type Counts struct {
 // FromMem extracts DRAM event counts from the device model, leaving the
 // PE-side counters for the caller.
 func FromMem(m *dram.Mem, seconds float64, pes int) Counts {
+	return FromCmdCounts(m.Counts(), seconds, pes)
+}
+
+// FromCmdCounts builds Counts from an explicit command-counter snapshot
+// (useful for windows measured as deltas of dram.Mem.Counts, and for
+// tests).
+func FromCmdCounts(c dram.CmdCounts, seconds float64, pes int) Counts {
 	return Counts{
-		Acts:       m.NumACT,
-		HostBlocks: m.NumRD + m.NumWR,
-		NDABlocks:  m.NumNDARD + m.NumNDAWR,
+		Acts:       c.ACT,
+		HostBlocks: c.RD + c.WR,
+		NDABlocks:  c.NDARD + c.NDAWR,
 		PEs:        pes,
 		Seconds:    seconds,
 	}

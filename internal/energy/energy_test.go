@@ -58,13 +58,15 @@ func TestZeroSecondsNoPower(t *testing.T) {
 	}
 }
 
-func TestFromMem(t *testing.T) {
-	m := dram.New(dram.DefaultGeometry(), dram.DDR42400())
-	m.NumACT = 5
-	m.NumRD, m.NumWR = 7, 3
-	m.NumNDARD, m.NumNDAWR = 11, 2
-	c := FromMem(m, 2.0, 4)
+func TestFromCmdCounts(t *testing.T) {
+	cc := dram.CmdCounts{ACT: 5, RD: 7, WR: 3, NDARD: 11, NDAWR: 2}
+	c := FromCmdCounts(cc, 2.0, 4)
 	if c.Acts != 5 || c.HostBlocks != 10 || c.NDABlocks != 13 || c.PEs != 4 || c.Seconds != 2.0 {
-		t.Errorf("FromMem = %+v", c)
+		t.Errorf("FromCmdCounts = %+v", c)
+	}
+	// FromMem on a fresh device reports all-zero counters.
+	m := dram.New(dram.DefaultGeometry(), dram.DDR42400())
+	if got := FromMem(m, 1.0, 4); got.Acts != 0 || got.HostBlocks != 0 || got.NDABlocks != 0 {
+		t.Errorf("FromMem on fresh Mem = %+v", got)
 	}
 }

@@ -27,7 +27,7 @@ func AblationLayout(opt Options) ([]AblationRow, error) {
 	return sharded(opt, len(settings), func(i int) (AblationRow, error) {
 		aligned := settings[i]
 		cfg := sim.Default(1)
-		s, err := sim.New(cfg)
+		s, err := opt.newSystem(cfg)
 		if err != nil {
 			return AblationRow{}, err
 		}
@@ -71,7 +71,7 @@ func AblationReservedBanks(opt Options) ([]AblationRow, error) {
 		rb := counts[i]
 		cfg := sim.Default(1)
 		cfg.ReservedBanks = rb
-		s, err := sim.New(cfg)
+		s, err := opt.newSystem(cfg)
 		if err != nil {
 			return AblationRow{}, err
 		}
@@ -98,7 +98,7 @@ func AblationWriteBuffer(opt Options) ([]AblationRow, error) {
 	return sharded(opt, len(caps), func(i int) (AblationRow, error) {
 		cfg := sim.Default(1)
 		cfg.NDA.WriteBufCap = caps[i]
-		s, err := sim.New(cfg)
+		s, err := opt.newSystem(cfg)
 		if err != nil {
 			return AblationRow{}, err
 		}
@@ -127,7 +127,7 @@ func AblationLaunchModel(opt Options) ([]AblationRow, error) {
 		cfg := sim.Default(1)
 		cfg.MaxBlocksPerInstr = 16
 		cfg.ModelLaunches = model
-		s, err := sim.New(cfg)
+		s, err := opt.newSystem(cfg)
 		if err != nil {
 			return AblationRow{}, err
 		}

@@ -15,16 +15,32 @@ import (
 // Options sets the simulation budget. Quick shrinks runs for tests.
 // Parallel fans each figure's independent simulation points across that
 // many workers (0/1 serial, negative = GOMAXPROCS); results are
-// identical for every worker count. CycleByCycle forces the reference
-// Tick path instead of fast-forward — counters are identical either
-// way (the sim package proves it), so it exists for cross-checking and
-// speedup benchmarks.
+// identical for every worker count. SimWorkers is the second
+// parallelism layer, *within* each simulation point: it sets
+// sim.Config.SimWorkers, fanning every executed tick's per-channel
+// memory phase across that many goroutines (also bit-identical for any
+// value; see DESIGN.md §2.5). The two layers compose — point-level
+// sharding scales with independent points, domain workers with channels
+// per point — but multiplying them oversubscribes small machines, so
+// sweeps typically raise one at a time. CycleByCycle forces the
+// reference Tick path instead of fast-forward — counters are identical
+// either way (the sim package proves it), so it exists for
+// cross-checking and speedup benchmarks.
 type Options struct {
 	WarmCycles    int64
 	MeasureCycles int64
 	Quick         bool
 	Parallel      int
+	SimWorkers    int
 	CycleByCycle  bool
+}
+
+// newSystem builds one simulation point's system with the options'
+// per-simulation settings applied. Points that use the fast path should
+// release it with sim.System.Close (measureConcurrent does).
+func (o Options) newSystem(cfg sim.Config) (*sim.System, error) {
+	cfg.SimWorkers = o.SimWorkers
+	return sim.New(cfg)
 }
 
 // DefaultOptions returns the full-fidelity budget. Warm-up must be long
@@ -56,8 +72,11 @@ type Result struct {
 type launcher func() (*ndart.Handle, error)
 
 // measureConcurrent drives a system with an optional NDA relaunch loop
-// through warm-up and measurement.
+// through warm-up and measurement. It releases the system's domain
+// executor (if one was started) before returning; the system stays
+// readable for post-run counter extraction.
 func measureConcurrent(s *sim.System, it launcher, opt Options) (Result, error) {
+	defer s.Close()
 	var h *ndart.Handle
 	var err error
 	relaunch := func() error {

@@ -19,7 +19,7 @@ type Fig2Row struct {
 // interleaving.
 func Fig2(opt Options) ([]Fig2Row, error) {
 	return sharded(opt, len(workload.Mixes), func(mix int) (Fig2Row, error) {
-		s, err := sim.New(sim.Default(mix))
+		s, err := opt.newSystem(sim.Default(mix))
 		if err != nil {
 			return Fig2Row{}, err
 		}

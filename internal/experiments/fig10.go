@@ -39,7 +39,7 @@ func Fig10(opt Options) ([]Fig10Row, error) {
 		cfg := sim.Default(1)
 		cfg.Geom = geomWithRanks(p.ranks)
 		cfg.MaxBlocksPerInstr = p.n
-		s, err := sim.New(cfg)
+		s, err := opt.newSystem(cfg)
 		if err != nil {
 			return Fig10Row{}, err
 		}

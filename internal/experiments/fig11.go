@@ -59,7 +59,7 @@ func fig11Mixes(opt Options, mixes []int) ([]Fig11Row, error) {
 		if p.op != "" {
 			cfg.Partitioned = p.part
 		}
-		s, err := sim.New(cfg)
+		s, err := opt.newSystem(cfg)
 		if err != nil {
 			return Result{}, err
 		}

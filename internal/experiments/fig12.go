@@ -57,7 +57,7 @@ func Fig12(opt Options) ([]Fig12Row, error) {
 		cfg := sim.Default(pt.mix)
 		cfg.NDA.Policy = pt.p.pol
 		cfg.NDA.StochasticProb = pt.p.prob
-		s, err := sim.New(cfg)
+		s, err := opt.newSystem(cfg)
 		if err != nil {
 			return Result{}, err
 		}

@@ -68,7 +68,7 @@ func Fig13(opt Options) ([]Fig13Row, error) {
 
 func runFig13Point(op string, bytesPerRank int, async bool, opt Options) (Result, error) {
 	cfg := sim.Default(1)
-	s, err := sim.New(cfg)
+	s, err := opt.newSystem(cfg)
 	if err != nil {
 		return Result{}, err
 	}

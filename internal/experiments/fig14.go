@@ -51,7 +51,7 @@ func Fig14(opt Options) ([]Fig14Row, error) {
 		// Chopim: full system, concurrent sharing.
 		cfg := sim.Default(1)
 		cfg.Geom = geomWithRanks(p.ranks)
-		s, err := sim.New(cfg)
+		s, err := opt.newSystem(cfg)
 		if err != nil {
 			return row, err
 		}
@@ -69,7 +69,7 @@ func Fig14(opt Options) ([]Fig14Row, error) {
 		// Rank partitioning: host on half the ranks...
 		hcfg := sim.Default(1)
 		hcfg.Geom = geomWithRanks(p.ranks / 2)
-		hs, err := sim.New(hcfg)
+		hs, err := opt.newSystem(hcfg)
 		if err != nil {
 			return row, err
 		}
@@ -82,7 +82,7 @@ func Fig14(opt Options) ([]Fig14Row, error) {
 		// ...and NDAs on the other half, alone.
 		ncfg := sim.Default(-1)
 		ncfg.Geom = geomWithRanks(p.ranks / 2)
-		nsys, err := sim.New(ncfg)
+		nsys, err := opt.newSystem(ncfg)
 		if err != nil {
 			return row, err
 		}

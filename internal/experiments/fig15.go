@@ -34,10 +34,11 @@ func CalibrateTiming(scale SVRGScale, ranksPerChannel int, opt Options) (svrg.Ti
 	// traffic is cache-resident).
 	cfg := sim.Default(-1)
 	cfg.Geom = geomWithRanks(ranksPerChannel)
-	s, err := sim.New(cfg)
+	s, err := opt.newSystem(cfg)
 	if err != nil {
 		return t, err
 	}
+	defer s.Close()
 	ag, err := apps.NewAverageGradient(s.RT, apps.AverageGradientConfig{N: scale.N, D: scale.D})
 	if err != nil {
 		return t, err
@@ -79,7 +80,7 @@ func CalibrateTiming(scale SVRGScale, ranksPerChannel int, opt Options) (svrg.Ti
 // bandwidth (bytes/s) on the baseline system using the lbm-like
 // streaming mix running alone.
 func hostStreamBandwidth(opt Options) (float64, error) {
-	s, err := sim.New(sim.Default(3)) // lbm-led streaming mix
+	s, err := opt.newSystem(sim.Default(3)) // lbm-led streaming mix
 	if err != nil {
 		return 0, err
 	}

@@ -30,7 +30,7 @@ func Power(opt Options) ([]PowerRow, error) {
 	return sharded(opt, len(scenarios), func(i int) (PowerRow, error) {
 		sc := scenarios[i]
 		cfg := sim.Default(sc.mix)
-		s, err := sim.New(cfg)
+		s, err := opt.newSystem(cfg)
 		if err != nil {
 			return PowerRow{}, err
 		}

@@ -133,7 +133,7 @@ func NDAOnlySweep(opt Options, ops []string) ([]NDAOnlyRow, error) {
 		perRank = 256 << 10
 	}
 	return sharded(opt, len(ops), func(i int) (NDAOnlyRow, error) {
-		s, err := sim.New(sim.Default(-1))
+		s, err := opt.newSystem(sim.Default(-1))
 		if err != nil {
 			return NDAOnlyRow{}, err
 		}

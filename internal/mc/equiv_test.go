@@ -20,7 +20,7 @@ func ctrlState(c *Controller, mem *dram.Mem) string {
 		"ACT=%d PRE=%d RD=%d WR=%d",
 		c.ReadsIssued, c.WritesIssued, c.ActsIssued, c.PresIssued, c.ReadLatencySum,
 		c.Drains, c.Refreshes, rdQ, wrQ, oldRank, oldOK,
-		mem.NumACT, mem.NumPRE, mem.NumRD, mem.NumWR)
+		mem.Counts().ACT, mem.Counts().PRE, mem.Counts().RD, mem.Counts().WR)
 }
 
 // TestBucketedSchedulerMatchesReference drives the bucketed production

@@ -106,6 +106,14 @@ type Controller struct {
 	// oracle); see SetReferenceScheduler.
 	refSched bool
 
+	// csink, when set, receives completion callbacks instead of having
+	// them invoked inline at issue time (see SetCompletionSink). The sim
+	// package points it at the controller's channel-domain mailbox so a
+	// Tick on a worker goroutine never calls into shared state (the cache
+	// hierarchy, the copy pump, runtime handles); the deferred callbacks
+	// run in the serial cross-channel commit phase of the same cycle.
+	csink func(done func(int64), at int64)
+
 	// issuedRank is the rank the host issued a command to this cycle
 	// (-1 if none); refreshed each Tick.
 	issuedRank  int
@@ -155,6 +163,12 @@ func NewController(cfg Config, mem *dram.Mem, mapper addrmap.Mapper, channel int
 	for i := 0; i < cfg.ReadQueue+cfg.WriteQueue; i++ {
 		c.free = &Request{qnext: c.free}
 	}
+	// The overflow buffer is unbounded by design, but its ring is
+	// reserved to a generous high-water estimate up front: LLC-thrashing
+	// hosts produce dirty-eviction bursts of several hundred writebacks,
+	// and a mid-run ring doubling is the kind of late allocation the
+	// zero-allocs steady-state gate exists to catch.
+	c.overflow.Reserve(32 * cfg.WriteQueue)
 	return c
 }
 
@@ -162,6 +176,17 @@ func NewController(cfg Config, mem *dram.Mem, mapper addrmap.Mapper, channel int
 // full-rescan FR-FCFS implementation. It exists as the oracle for the
 // scheduler equivalence tests; the bucketed path is the production one.
 func (c *Controller) SetReferenceScheduler(on bool) { c.refSched = on }
+
+// SetCompletionSink redirects request completion callbacks (read fills,
+// control-launch acknowledgements) into sink instead of invoking them
+// inline at issue time. sink receives the request's Done function and
+// the DRAM cycle it would have been invoked with; the caller must run
+// every deferred callback before the end of the cycle it was produced
+// in. A nil sink restores inline invocation (the default, which unit
+// harnesses rely on).
+func (c *Controller) SetCompletionSink(sink func(done func(int64), at int64)) {
+	c.csink = sink
+}
 
 // Channel returns the channel index this controller owns.
 func (c *Controller) Channel() int { return c.channel }
@@ -735,7 +760,11 @@ func (c *Controller) issueColumn(cmd dram.Command, r *Request, q *reqQueue, now 
 	done := r.Done
 	c.release(r)
 	if done != nil {
-		done(dataEnd)
+		if c.csink != nil {
+			c.csink(done, dataEnd)
+		} else {
+			done(dataEnd)
+		}
 	}
 }
 

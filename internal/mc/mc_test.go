@@ -41,8 +41,8 @@ func TestReadCompletesWithDRAMLatency(t *testing.T) {
 	if doneAt < min {
 		t.Errorf("read completed at %d, faster than tRCD+CL+BL=%d", doneAt, min)
 	}
-	if c.ReadsIssued != 1 || mem.NumRD != 1 {
-		t.Errorf("read accounting: mc=%d dram=%d", c.ReadsIssued, mem.NumRD)
+	if c.ReadsIssued != 1 || mem.Counts().RD != 1 {
+		t.Errorf("read accounting: mc=%d dram=%d", c.ReadsIssued, mem.Counts().RD)
 	}
 }
 
@@ -82,7 +82,7 @@ func TestWriteDrainServesWrites(t *testing.T) {
 	for cyc := int64(0); cyc < 3000; cyc++ {
 		c.Tick(cyc)
 	}
-	if mem.NumWR == 0 {
+	if mem.Counts().WR == 0 {
 		t.Error("drain mode issued no writes")
 	}
 	if c.Drains == 0 {

@@ -135,6 +135,10 @@ type RankNDA struct {
 	sleepPure  bool
 	sleepStale bool
 	derivedVer uint64
+
+	// csink, when set, receives op completion callbacks instead of having
+	// them invoked inline (see Engine.SetCompletionSink).
+	csink func(done func(int64), at int64)
 }
 
 // Stats returns the rank's activity counters.
@@ -217,13 +221,34 @@ func (e *Engine) Busy() bool {
 // controller issued a command to a rank with NDA work (see
 // RankBusy) — the rank's yield accounting happens on that very cycle.
 func (e *Engine) Tick(now int64) {
-	for ch, row := range e.Ranks {
-		host := e.hosts[ch]
-		hostRank := host.HostIssuedRank()
-		hv := host.Ver()
-		for _, n := range row {
-			n.tick(now, hostRank, hv, e.fastForward)
-		}
+	for ch := range e.Ranks {
+		e.TickChannel(ch, now)
+	}
+}
+
+// TickChannel advances one channel's rank NDAs by one DRAM cycle. A
+// channel's NDAs read and write only that channel's state — its host
+// controller (issued-rank, queue-demand, and version reads), its share
+// of the DRAM timing model, and their own FSMs — so distinct channels
+// may tick on concurrent workers. Op completion callbacks are the one
+// exception, and they divert through the completion sink when set.
+func (e *Engine) TickChannel(ch int, now int64) {
+	host := e.hosts[ch]
+	hostRank := host.HostIssuedRank()
+	hv := host.Ver()
+	for _, n := range e.Ranks[ch] {
+		n.tick(now, hostRank, hv, e.fastForward)
+	}
+}
+
+// SetCompletionSink redirects op completion callbacks (Op.Done) of the
+// given channel's rank NDAs into sink instead of invoking them inline
+// during a tick. The sim package points each channel at its domain
+// mailbox; deferred callbacks must run before the end of the cycle they
+// were produced in. A nil sink restores inline invocation.
+func (e *Engine) SetCompletionSink(ch int, sink func(done func(int64), at int64)) {
+	for _, n := range e.Ranks[ch] {
+		n.csink = sink
 	}
 }
 
@@ -249,23 +274,41 @@ func (e *Engine) RankBusy(channel, rank int) bool {
 // over.
 func (e *Engine) NextEvent(now int64) int64 {
 	next := dram.Never
-	for ch, row := range e.Ranks {
-		hv := e.hosts[ch].Ver()
-		for _, n := range row {
-			if len(n.fsm.ops) == 0 && n.fsm.wb.Len() == 0 {
-				continue
-			}
-			if n.sleepStale || (!n.sleepPure && n.derivedVer != hv) {
-				n.sleepUntil, n.sleepPure = n.nextEvent(now)
-				n.derivedVer = hv
-				n.sleepStale = false
-			}
-			if n.sleepUntil <= now {
+	for ch := range e.Ranks {
+		if w := e.ChannelNextEvent(ch, now); w < next {
+			next = w
+			if next <= now {
 				return now
 			}
-			if n.sleepUntil < next {
-				next = n.sleepUntil
-			}
+		}
+	}
+	return next
+}
+
+// ChannelNextEvent is NextEvent restricted to one channel's rank NDAs.
+// Its validity assumptions are per channel: a host command to a busy
+// rank forces that channel's tick (RankBusy), and impure bounds
+// revalidate against that channel's controller version — so one
+// channel's host-queue churn never perturbs another channel's cached
+// bounds. It reads and refreshes only channel-local state, making it
+// safe to call from the channel's domain worker.
+func (e *Engine) ChannelNextEvent(ch int, now int64) int64 {
+	next := dram.Never
+	hv := e.hosts[ch].Ver()
+	for _, n := range e.Ranks[ch] {
+		if len(n.fsm.ops) == 0 && n.fsm.wb.Len() == 0 {
+			continue
+		}
+		if n.sleepStale || (!n.sleepPure && n.derivedVer != hv) {
+			n.sleepUntil, n.sleepPure = n.nextEvent(now)
+			n.derivedVer = hv
+			n.sleepStale = false
+		}
+		if n.sleepUntil <= now {
+			return now
+		}
+		if n.sleepUntil < next {
+			next = n.sleepUntil
 		}
 	}
 	return next
@@ -531,7 +574,16 @@ func (n *RankNDA) maybeComplete(f *rankFSM, op *Op, now int64) {
 	f.readsRun = 0
 	f.stats.OpsCompleted++
 	if op.Done != nil {
-		op.Done(now)
+		// Completion callbacks touch state shared across channels
+		// (runtime handles); when a sink is installed they run in the
+		// serial commit phase instead. The replica FSM never reaches
+		// here with a Done (Launch clears it), so the primary and
+		// replica stay comparable either way.
+		if n.csink != nil {
+			n.csink(op.Done, now)
+		} else {
+			op.Done(now)
+		}
 	}
 }
 

@@ -93,8 +93,8 @@ func TestCopyOpMovesAllBlocks(t *testing.T) {
 	if doneAt < 0 {
 		t.Fatal("COPY never completed")
 	}
-	if mem.NumNDARD != n || mem.NumNDAWR != n {
-		t.Errorf("NDA RD/WR = %d/%d, want %d/%d", mem.NumNDARD, mem.NumNDAWR, n, n)
+	if mem.Counts().NDARD != n || mem.Counts().NDAWR != n {
+		t.Errorf("NDA RD/WR = %d/%d, want %d/%d", mem.Counts().NDARD, mem.Counts().NDAWR, n, n)
 	}
 	if e.Busy() {
 		t.Error("engine still busy after completion")
@@ -114,8 +114,8 @@ func TestDotReadsRoundRobinBatches(t *testing.T) {
 	if !done {
 		t.Fatal("DOT never completed")
 	}
-	if mem.NumNDARD != 2*n || mem.NumNDAWR != 0 {
-		t.Errorf("NDA RD/WR = %d/%d, want %d/0", mem.NumNDARD, mem.NumNDAWR, 2*n)
+	if mem.Counts().NDARD != 2*n || mem.Counts().NDAWR != 0 {
+		t.Errorf("NDA RD/WR = %d/%d, want %d/0", mem.Counts().NDARD, mem.Counts().NDAWR, 2*n)
 	}
 }
 
@@ -167,7 +167,7 @@ func TestNDAYieldsToHostRank(t *testing.T) {
 	if st.StallsHost == 0 {
 		t.Error("no host-priority stalls recorded under contention")
 	}
-	if mem.NumRD == 0 {
+	if mem.Counts().RD == 0 {
 		t.Error("host reads never issued")
 	}
 }

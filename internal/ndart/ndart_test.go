@@ -128,8 +128,8 @@ func TestCopyEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	h.run(t, hd, 10_000_000)
-	if h.mem.NumNDARD != int64(n*4/dram.BlockBytes) {
-		t.Errorf("NDA reads = %d, want %d", h.mem.NumNDARD, n*4/dram.BlockBytes)
+	if h.mem.Counts().NDARD != int64(n*4/dram.BlockBytes) {
+		t.Errorf("NDA reads = %d, want %d", h.mem.Counts().NDARD, n*4/dram.BlockBytes)
 	}
 }
 
@@ -177,7 +177,7 @@ func TestMisalignedOperandsTriggerCopy(t *testing.T) {
 	if h.rt.Copies == 0 {
 		t.Error("misaligned operand did not trigger a host copy")
 	}
-	if h.mem.NumRD == 0 {
+	if h.mem.Counts().RD == 0 {
 		t.Error("host copy generated no host reads")
 	}
 }
@@ -194,8 +194,8 @@ func TestHostCopyMovesAllBlocks(t *testing.T) {
 	if !doneCalled {
 		t.Fatal("HostCopy done callback never fired")
 	}
-	if want := int64(n * 4 / dram.BlockBytes); h.mem.NumRD != want {
-		t.Errorf("host reads = %d, want %d", h.mem.NumRD, want)
+	if want := int64(n * 4 / dram.BlockBytes); h.mem.Counts().RD != want {
+		t.Errorf("host reads = %d, want %d", h.mem.Counts().RD, want)
 	}
 }
 

@@ -14,18 +14,24 @@ type Ring[T any] struct {
 // Len returns the number of queued elements.
 func (r *Ring[T]) Len() int { return r.n }
 
+// Reserve grows the backing array to hold at least n elements, so a
+// caller that knows its occupancy bound (or a generous high-water
+// estimate) can move the growth allocations to construction time.
+func (r *Ring[T]) Reserve(n int) {
+	if n <= len(r.buf) {
+		return
+	}
+	grown := make([]T, n)
+	for i := 0; i < r.n; i++ {
+		grown[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf, r.head = grown, 0
+}
+
 // Push appends v, growing the backing array when full.
 func (r *Ring[T]) Push(v T) {
 	if r.n == len(r.buf) {
-		size := len(r.buf) * 2
-		if size < 64 {
-			size = 64
-		}
-		grown := make([]T, size)
-		for i := 0; i < r.n; i++ {
-			grown[i] = r.buf[(r.head+i)%len(r.buf)]
-		}
-		r.buf, r.head = grown, 0
+		r.Reserve(max(64, len(r.buf)*2))
 	}
 	r.buf[(r.head+r.n)%len(r.buf)] = v
 	r.n++

@@ -5,6 +5,7 @@ import (
 
 	"chopim/internal/apps"
 	"chopim/internal/ndart"
+	"chopim/internal/workload"
 )
 
 // TestTickLoopAllocFree pins the allocation-free steady-state contract
@@ -40,5 +41,27 @@ func TestTickLoopAllocFree(t *testing.T) {
 	}
 	if h.Done() {
 		t.Fatal("NDA op finished during measurement; enlarge the operand")
+	}
+}
+
+// TestStallHeavyAllocFree extends the zero-allocs contract to the
+// stall-heavy host path (BenchmarkHostStallHeavy's shape): the 64 MiB
+// random footprints warm the MSHR machinery much more slowly than the
+// mixed workload, so this pins the config-bound pre-sizing of the
+// waiter slices, the LLC pending map, the MSHR node pool, and the
+// controller overflow ring — late growth in any of them fails here
+// before it fails the CI bench gate.
+func TestStallHeavyAllocFree(t *testing.T) {
+	cfg := Default(-1)
+	p := workload.StallHeavy()
+	cfg.HostProfiles = []workload.Profile{p, p, p, p}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunFast(150_000)
+	allocs := testing.AllocsPerRun(5, func() { s.RunFast(20_000) })
+	if allocs != 0 {
+		t.Fatalf("stall-heavy steady state allocated %.1f objects per 20k-cycle window, want 0", allocs)
 	}
 }

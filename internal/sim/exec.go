@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// domainExec is the phase-barriered channel-domain executor: a pool of
+// persistent worker goroutines that, once per executed tick, claim due
+// channel domains off a shared counter and run System.domainTick on
+// them, with the calling goroutine (the coordinator) participating. The
+// round ends when every domain has completed — the barrier behind which
+// the serial commit phase runs.
+//
+// Determinism does not depend on the executor at all: domains touch no
+// shared mutable state during the memory phase (dram.Mem, the
+// controllers, and the rank NDAs are all channel-sharded, and
+// cross-channel completion callbacks divert into per-domain
+// mailboxes), so any assignment of domains to workers produces
+// bit-identical state. The work-stealing claim counter is purely a
+// load-balancing choice; it also guarantees progress when workers are
+// descheduled (an oversubscribed or single-CPU machine): the
+// coordinator drains whatever remains itself.
+//
+// Workers spin briefly between rounds (ticks in a hot RunFast loop
+// arrive microseconds apart), yield for a while, then park on a
+// condition variable; the coordinator wakes sleepers at the start of a
+// round. The steady-state handoff is a few atomic operations per tick
+// and allocates nothing.
+type domainExec struct {
+	s  *System
+	nw int // total workers including the coordinator
+
+	seq     atomic.Uint64 // round number; bumped to release workers
+	next    atomic.Int32  // domain claim counter for the current round
+	pending atomic.Int32  // domains not yet completed this round
+	now     int64         // the round's DRAM cycle (published before next/seq)
+
+	sleepers atomic.Int32
+	stopped  atomic.Bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	wg       sync.WaitGroup
+}
+
+// Spin tuning: hot spins poll the round counter back to back; yield
+// spins Gosched between polls (so an oversubscribed coordinator can
+// run); past the budget the worker parks.
+const (
+	execHotSpins   = 256
+	execYieldSpins = 4096
+)
+
+// newDomainExec starts nw-1 worker goroutines (the caller is the nw-th
+// worker). Callers ensure nw >= 2.
+func newDomainExec(s *System, nw int) *domainExec {
+	e := &domainExec{s: s, nw: nw}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(nw - 1)
+	for w := 1; w < nw; w++ {
+		go e.worker()
+	}
+	return e
+}
+
+// round runs one memory phase: all domains, each exactly once, fanned
+// across the pool. It returns only after every domain completed.
+func (e *domainExec) round(now int64) {
+	e.now = now
+	e.pending.Store(int32(len(e.s.doms)))
+	e.next.Store(0) // release-publishes now/pending to claimers
+	e.seq.Add(1)
+	if e.sleepers.Load() > 0 {
+		e.mu.Lock()
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+	e.drain()
+	// Wait for straggler workers still inside a claimed domain. The
+	// remaining work is at most nw-1 domain ticks, so spin tightly and
+	// yield: parking here would cost more than the wait.
+	for spins := 0; e.pending.Load() != 0; spins++ {
+		if spins > execHotSpins {
+			runtime.Gosched()
+		}
+	}
+}
+
+// drain claims and runs domains until the current round has none left.
+// The claim is a plain atomic increment: a claim that lands after a new
+// round opened simply executes one of the new round's domains (now is
+// re-read after the claim), which is exactly what some goroutine had to
+// do anyway — rounds are delimited by pending, not by who claims.
+func (e *domainExec) drain() {
+	nd := int32(len(e.s.doms))
+	for {
+		d := e.next.Add(1) - 1
+		if d >= nd {
+			return
+		}
+		e.s.domainTick(int(d), e.now)
+		e.pending.Add(-1)
+	}
+}
+
+// worker is the persistent loop of one pool goroutine.
+func (e *domainExec) worker() {
+	defer e.wg.Done()
+	var last uint64
+	spins := 0
+	for {
+		cur := e.seq.Load()
+		if cur == last {
+			if e.stopped.Load() {
+				return
+			}
+			spins++
+			switch {
+			case spins < execHotSpins:
+				// hot poll
+			case spins < execYieldSpins:
+				runtime.Gosched()
+			default:
+				e.park(last)
+				spins = 0
+			}
+			continue
+		}
+		last = cur
+		spins = 0
+		e.drain()
+	}
+}
+
+// park blocks the worker until a broadcast (or stop). The handshake is
+// deliberately loose: the coordinator reads the sleeper count without
+// the mutex, so a worker that checks seq just before a round opens can
+// register as a sleeper just after the coordinator saw zero and miss
+// that round's broadcast entirely. That is safe ONLY because rounds
+// are work-conserving — the coordinator drains every unclaimed domain
+// itself and the barrier is pending==0, never wait-for-workers — so a
+// sleeping worker merely sits out rounds until the next broadcast
+// reaches it. Any restructure that makes round completion depend on a
+// specific worker waking must first tighten this handshake.
+func (e *domainExec) park(last uint64) {
+	e.mu.Lock()
+	for e.seq.Load() == last && !e.stopped.Load() {
+		e.sleepers.Add(1)
+		e.cond.Wait()
+		e.sleepers.Add(-1)
+	}
+	e.mu.Unlock()
+}
+
+// stop terminates the pool and waits for the workers to exit.
+func (e *domainExec) stop() {
+	e.stopped.Store(true)
+	e.mu.Lock()
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}

@@ -19,7 +19,7 @@ func snapshot(s *System) string {
 		"ACT=%d PRE=%d RD=%d WR=%d nRD=%d nWR=%d "+
 		"br=%d bw=%d acts=%d sh=%d sp=%d ops=%d launches=%d copies=%d",
 		s.Now(), s.CPUNow(), s.credit, s.HostIPC(), s.HostBusyCycles(), s.NDABlocks(),
-		s.Mem.NumACT, s.Mem.NumPRE, s.Mem.NumRD, s.Mem.NumWR, s.Mem.NumNDARD, s.Mem.NumNDAWR,
+		s.Mem.Counts().ACT, s.Mem.Counts().PRE, s.Mem.Counts().RD, s.Mem.Counts().WR, s.Mem.Counts().NDARD, s.Mem.Counts().NDAWR,
 		st.BlocksRead, st.BlocksWritten, st.RowActs, st.StallsHost, st.StallsPolicy, st.OpsCompleted,
 		s.RT.Launches, s.RT.Copies)
 	for i, c := range s.MCs {

@@ -60,7 +60,7 @@ func goldenStats(t *testing.T, w ffWorkload, fast bool) string {
 	run(goldenMeasure)
 	return fmt.Sprintf("ipc=%v blocks=%d busy=%d rd=%d wr=%d ndard=%d ndawr=%d",
 		s.HostIPC(), s.NDABlocks()-blocks0, s.HostBusyCycles()-busy0,
-		s.Mem.NumRD, s.Mem.NumWR, s.Mem.NumNDARD, s.Mem.NumNDAWR)
+		s.Mem.Counts().RD, s.Mem.Counts().WR, s.Mem.Counts().NDARD, s.Mem.Counts().NDAWR)
 }
 
 // goldenWant pins exact simulator behavior for the fixed seeds and

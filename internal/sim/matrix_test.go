@@ -46,7 +46,7 @@ func TestConfigurationMatrix(t *testing.T) {
 					if s.NDABlocks() == 0 {
 						t.Error("no NDA progress")
 					}
-					if s.Mem.NumRD == 0 {
+					if s.Mem.Counts().RD == 0 {
 						t.Error("no host progress")
 					}
 				})
@@ -93,7 +93,7 @@ func TestRefreshEnabledSystemRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Run(50_000)
-	if s.Mem.NumRD == 0 {
+	if s.Mem.Counts().RD == 0 {
 		t.Error("no reads with refresh enabled")
 	}
 }

@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"chopim/internal/ndart"
+)
+
+// parallelWorkloads returns the workload shapes the domain-executor
+// equivalence tests run: the standard 2-channel mixed golden and a
+// 4-channel variant that gives a 4-worker pool one domain per worker.
+func parallelWorkloads() []ffWorkload {
+	ws := ffWorkloads()
+	var out []ffWorkload
+	for _, w := range ws {
+		if w.name == "mixed-mix1-dot" || w.name == "mixed-mix3-copy-shared" {
+			out = append(out, w)
+		}
+	}
+	wide := ffWorkload{
+		name: "mixed-mix1-dot-4ch",
+		cfg: func() Config {
+			c := Default(1)
+			c.Geom.Channels = 4
+			return c
+		},
+	}
+	for _, w := range ws {
+		if w.name == "mixed-mix1-dot" {
+			wide.app = w.app
+		}
+	}
+	out = append(out, wide)
+	return out
+}
+
+// driveWorkers is drive (fastforward_test.go) with a SimWorkers setting
+// and executor cleanup.
+func driveWorkers(t *testing.T, w ffWorkload, workers int, segments int, segCycles int64) []string {
+	t.Helper()
+	cfg := w.cfg()
+	cfg.SimWorkers = workers
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var it func() (*ndart.Handle, error)
+	if w.app != nil {
+		if it, err = w.app(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var h *ndart.Handle
+	relaunch := func() {
+		if it == nil {
+			return
+		}
+		if h == nil || h.Done() {
+			if h, err = it(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	relaunch()
+	var snaps []string
+	for seg := 0; seg < segments; seg++ {
+		end := s.Now() + segCycles
+		for s.Now() < end {
+			s.StepFast(end)
+			relaunch()
+		}
+		snaps = append(snaps, snapshot(s))
+	}
+	return snaps
+}
+
+// TestParallelDomainsMatchSerial is the domain-determinism contract: a
+// mixed host+NDA run on the channel-domain executor produces counters
+// bit-identical to the serial fast path for every worker count. Under
+// -race this also proves the memory phase free of data races: domains
+// share no mutable state mid-phase, and every cross-channel effect is
+// mailboxed to the serial commit. Budgets are short because the CI race
+// step runs this on every push.
+func TestParallelDomainsMatchSerial(t *testing.T) {
+	for _, w := range parallelWorkloads() {
+		t.Run(w.name, func(t *testing.T) {
+			serial := driveWorkers(t, w, 1, 4, 5_000)
+			for _, workers := range []int{2, 4} {
+				par := driveWorkers(t, w, workers, 4, 5_000)
+				for i := range serial {
+					if serial[i] != par[i] {
+						t.Fatalf("workers=%d diverged at segment %d:\n serial: %s\n par:    %s",
+							workers, i, serial[i], par[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelDomainsMatchReference cross-checks the executor against
+// the restructured reference Tick path (the oracle): Run and
+// RunFast(workers=4) must agree at every segment boundary.
+func TestParallelDomainsMatchReference(t *testing.T) {
+	w := parallelWorkloads()[0]
+	slow := drive(t, w, false, 4, 5_000)
+	par := driveWorkers(t, w, 4, 4, 5_000)
+	for i := range slow {
+		if slow[i] != par[i] {
+			t.Fatalf("segment %d diverged:\n reference: %s\n workers=4: %s", i, slow[i], par[i])
+		}
+	}
+}
+
+// TestDomainOrderFuzz randomizes the serial memory-phase dispatch order
+// (the mailbox-ordering argument's other half): since domains are
+// mutually independent and mailboxes drain in canonical order at
+// commit, any permutation of domain execution within the phase must be
+// bit-identical to the canonical ascending order.
+func TestDomainOrderFuzz(t *testing.T) {
+	for _, w := range parallelWorkloads() {
+		t.Run(w.name, func(t *testing.T) {
+			canonical := driveWorkers(t, w, 1, 4, 5_000)
+
+			cfg := w.cfg()
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var it func() (*ndart.Handle, error)
+			if w.app != nil {
+				if it, err = w.app(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var h *ndart.Handle
+			relaunch := func() {
+				if it == nil {
+					return
+				}
+				if h == nil || h.Done() {
+					if h, err = it(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			relaunch()
+			rng := rand.New(rand.NewSource(0xD0A7))
+			s.domOrder = make([]int, len(s.doms))
+			for seg := 0; seg < 4; seg++ {
+				end := s.Now() + 5_000
+				for s.Now() < end {
+					// Fresh permutation per executed step.
+					for i := range s.domOrder {
+						s.domOrder[i] = i
+					}
+					rng.Shuffle(len(s.domOrder), func(i, j int) {
+						s.domOrder[i], s.domOrder[j] = s.domOrder[j], s.domOrder[i]
+					})
+					s.StepFast(end)
+					relaunch()
+				}
+				if got := snapshot(s); got != canonical[seg] {
+					t.Fatalf("segment %d diverged under permuted domain order:\n canonical: %s\n permuted:  %s",
+						seg, canonical[seg], got)
+				}
+			}
+		})
+	}
+}

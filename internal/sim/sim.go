@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 
 	"chopim/internal/addrmap"
 	"chopim/internal/cache"
@@ -62,6 +63,20 @@ type Config struct {
 	// ModelLaunches models control-register launch packets.
 	ModelLaunches bool
 
+	// SimWorkers sets the channel-domain executor's worker count for the
+	// fast path (RunFast/StepFast): the per-channel memory phase of each
+	// executed tick is fanned across this many goroutines (including the
+	// caller), one domain at a time per worker. 0 or 1 runs the memory
+	// phase inline, negative means one worker per available CPU (the
+	// same convention as the experiment runner's Parallel), and values
+	// above the channel count are clamped. Results
+	// are bit-identical for every worker count — domains share no
+	// mutable state during the phase, and all cross-channel effects are
+	// applied in a canonical order in the serial commit phase. The
+	// reference Run path never uses workers. Call Close when done with a
+	// system built with SimWorkers > 1 to release the worker goroutines.
+	SimWorkers int
+
 	Seed int64
 }
 
@@ -116,15 +131,52 @@ type System struct {
 	coreDue   []bool
 	coreEpoch []uint64
 
-	// stepNDAWake/stepRTWake carry the survey's NDA and runtime bounds
-	// into the same step's tick (notSurveyed when the survey early-outed
-	// before deriving them).
-	stepNDAWake int64
+	// doms holds one channel domain per memory channel: the unit of
+	// parallelism in the memory phase. Domain d owns MCs[d], the rank
+	// NDAs of channel d, and channel d's share of Mem; its mailbox
+	// (outbox) collects the completion callbacks the domain's tick would
+	// otherwise have invoked inline — fills into the shared cache
+	// hierarchy, copy-pump read completions, control-launch
+	// acknowledgements, NDA op completions — for the serial commit phase
+	// to apply in canonical (channel, FIFO) order.
+	doms []domain
+
+	// stepNDAWake carries the survey's per-channel NDA bounds into the
+	// same step's tick (notSurveyed when the survey early-outed before
+	// deriving them); stepRTWake is the runtime bound.
+	stepNDAWake []int64
 	stepRTWake  int64
+
+	// exec is the channel-domain worker pool (nil when SimWorkers <= 1
+	// or the system has fewer than two domains); started lazily by the
+	// first fast-path tick. domOrder, when non-nil, permutes the serial
+	// memory-phase dispatch order (test hook: domains are independent,
+	// so any order must be bit-identical).
+	exec     *domainExec
+	execInit bool
+	domOrder []int
 
 	measStartDRAM int64
 	measStartCPU  int64
 	retiredAtMeas []int64
+}
+
+// domain is one channel's execution domain (see System.doms).
+type domain struct {
+	outbox []doneEv
+}
+
+// doneEv is one deferred completion callback and the cycle argument it
+// must be invoked with.
+type doneEv struct {
+	fn func(int64)
+	at int64
+}
+
+// push appends a deferred completion (the mailbox write side; called
+// only from the owning domain's memory-phase tick).
+func (d *domain) push(fn func(int64), at int64) {
+	d.outbox = append(d.outbox, doneEv{fn: fn, at: at})
 }
 
 // New builds and wires a system.
@@ -183,7 +235,25 @@ func New(cfg Config) (*System, error) {
 	}
 	s.coreDue = make([]bool, len(s.Cores))
 	s.coreEpoch = make([]uint64, len(s.Cores))
+	s.stepNDAWake = make([]int64, len(s.MCs))
+	s.doms = make([]domain, len(s.MCs))
+	for d := range s.doms {
+		dom := &s.doms[d]
+		s.MCs[d].SetCompletionSink(dom.push)
+		s.NDA.SetCompletionSink(d, dom.push)
+	}
 	return s, nil
+}
+
+// Close releases the channel-domain worker goroutines (a no-op for
+// systems without a started executor). The system stays usable
+// afterwards; subsequent fast-path ticks run the memory phase inline.
+func (s *System) Close() {
+	if s.exec != nil {
+		s.exec.stop()
+		s.exec = nil
+	}
+	s.execInit = true // closed: do not restart workers
 }
 
 // rdSum counts read dequeues across controllers: the only controller
@@ -208,13 +278,35 @@ func (s *System) Now() int64 { return s.dramCycle }
 // CPUNow returns the current CPU cycle.
 func (s *System) CPUNow() int64 { return s.cpuCycle }
 
-// Tick advances the system one DRAM cycle.
+// Tick advances the system one DRAM cycle through the three
+// barrier-separated phases of the domain architecture (DESIGN.md §2.5):
+//
+//  1. Per-channel memory phase: each channel domain ticks its
+//     controller and then its rank NDAs. Domains read and write only
+//     channel-local state — completion callbacks that would cross a
+//     domain boundary (cache fills, copy-read completions, launch
+//     acknowledgements, NDA op completions) are deferred into the
+//     domain's mailbox — so the phase's result is independent of
+//     domain execution order.
+//  2. Cross-channel commit: the mailboxes drain in canonical (channel,
+//     FIFO) order, applying fills to the shared hierarchy (whose
+//     writebacks enqueue into any channel's queues), completing
+//     handles, and acknowledging launches; then the runtime's copy
+//     pump runs.
+//  3. CPU/cache front-end: the CPU-credit loop ticks cores against the
+//     shared hierarchy, exactly as many sub-cycles as the clock ratio
+//     owes this DRAM cycle.
+//
+// Run executes the phases serially — it is the oracle the executor is
+// measured against — and RunFast with any worker count must produce
+// bit-identical state.
 func (s *System) Tick() {
 	now := s.dramCycle
-	for _, c := range s.MCs {
-		c.Tick(now)
+	for d := range s.doms {
+		s.MCs[d].Tick(now)
+		s.NDA.TickChannel(d, now)
 	}
-	s.NDA.Tick(now)
+	s.commit()
 	s.RT.Tick(now)
 	s.credit += cpuCredit
 	for s.credit >= cpuDivisor {
@@ -225,6 +317,27 @@ func (s *System) Tick() {
 		s.cpuCycle++
 	}
 	s.dramCycle++
+}
+
+// commit drains every domain mailbox in canonical (channel, FIFO)
+// order: the cross-channel phase of the cycle. Deferred callbacks may
+// enqueue into any controller (cache writebacks, copy writes) and
+// mutate shared front-end state (hierarchy fills, runtime handles,
+// launch acknowledgements into the domain's own engine); they run here,
+// after the memory-phase barrier, so their effects land identically
+// regardless of how the memory phase was scheduled. Callbacks never
+// produce new mailbox entries (only a controller or NDA tick does), but
+// the index loop tolerates growth defensively.
+func (s *System) commit() {
+	for d := range s.doms {
+		dom := &s.doms[d]
+		for i := 0; i < len(dom.outbox); i++ {
+			ev := &dom.outbox[i]
+			ev.fn(ev.at)
+			ev.fn = nil // drop the closure reference for GC
+		}
+		dom.outbox = dom.outbox[:0]
+	}
 }
 
 // Run advances n DRAM cycles one tick at a time (the reference path;
@@ -300,7 +413,10 @@ func (s *System) mcNext(i int, now int64) int64 {
 // instead.
 func (s *System) nextEventFast() int64 {
 	now := s.dramCycle
-	s.stepNDAWake, s.stepRTWake = notSurveyed, notSurveyed
+	for d := range s.stepNDAWake {
+		s.stepNDAWake[d] = notSurveyed
+	}
+	s.stepRTWake = notSurveyed
 	next := dram.Never
 	for _, core := range s.Cores {
 		w := core.NextEvent(s.cpuCycle)
@@ -318,9 +434,12 @@ func (s *System) nextEventFast() int64 {
 			next = t
 		}
 	}
-	s.stepNDAWake = s.NDA.NextEvent(now)
-	if s.stepNDAWake < next {
-		next = s.stepNDAWake
+	for d := range s.doms {
+		w := s.NDA.ChannelNextEvent(d, now)
+		s.stepNDAWake[d] = w
+		if w < next {
+			next = w
+		}
 	}
 	s.stepRTWake = s.RT.NextEvent(now)
 	if s.stepRTWake < next {
@@ -350,65 +469,81 @@ func (s *System) skipIdle(k int64) {
 	}
 }
 
-// tickDue advances the system one DRAM cycle, dispatching only due
-// components. It is Tick with skips that are individually proven
-// no-ops:
+// domainTick advances one channel domain by one DRAM cycle, dispatching
+// only due components off the survey's cached bounds. It touches only
+// domain-local state — the domain's controller, its channel's DRAM
+// state, its rank NDAs, and the domain's own slots of the wake-cache
+// arrays — so distinct domains may run on concurrent workers; the skips
+// are individually proven no-ops:
 //
 //   - A controller whose cached bound lies ahead cannot schedule
 //     anything this cycle (the mc.NextEvent contract); only its
 //     per-cycle issued-rank scratch must be reset for the NDA hooks.
-//   - The NDA engine and runtime are skipped when their NextEvent lies
-//     ahead (disturbance folds into Engine.NextEvent).
-//   - A blocked, non-probe-stalled core whose wake lies at or beyond
-//     this tick's CPU window cannot retire or issue in it; its cycle
-//     counter advances arithmetically. Probe-stalled cores always run:
-//     an executed cycle means some component may have mutated the
-//     memory state their retry probes.
-//
-// Dispatch order matches Tick exactly: controllers, NDA, runtime, then
-// the CPU-credit loop with cores in index order.
-func (s *System) tickDue() {
-	now := s.dramCycle
-	mcTicked := false
-	for i, c := range s.MCs {
-		// Dispatch straight off the cached bound: due when it expired
-		// or when any derivation input moved (ticking on a stale bound
-		// is always exact — only skipping needs the proof).
-		if s.mcStale[i] || s.mcWake[i] <= now || s.mcVer[i] != c.Ver() ||
-			s.mcMemVer[i] != s.Mem.ChVer(c.Channel()) {
-			c.Tick(now)
-			s.mcStale[i] = true
-			mcTicked = true
-		} else {
-			c.ClearIssued()
-		}
+//   - The channel's rank NDAs are skipped when their bound lies ahead —
+//     unless this domain's controller issued a command to a rank with
+//     NDA work: the rank's yield (and its StallsHost accounting)
+//     happens on that very cycle, and pure sleep bounds rely on being
+//     invalidated here (a host command moves the rank's horizons and
+//     may close its row). The survey's stashed bound is reused only
+//     when this domain's controller did not tick this cycle: a
+//     controller tick can mutate the inputs an impure bound was derived
+//     from (a dequeue flipping the oldest-read rank, say), and the
+//     version revalidation must see the post-tick state. Cross-channel
+//     coupling cannot occur mid-phase: every NDA bound reads only its
+//     own channel's controller and timing state, and cross-channel
+//     effects are mailboxed until commit.
+func (s *System) domainTick(d int, now int64) {
+	c := s.MCs[d]
+	// Dispatch straight off the cached bound: due when it expired or
+	// when any derivation input moved (ticking on a stale bound is
+	// always exact — only skipping needs the proof).
+	mcTicked := s.mcStale[d] || s.mcWake[d] <= now || s.mcVer[d] != c.Ver() ||
+		s.mcMemVer[d] != s.Mem.ChVer(c.Channel())
+	if mcTicked {
+		c.Tick(now)
+		s.mcStale[d] = true
+	} else {
+		c.ClearIssued()
 	}
-	// The NDA engine runs when due — and, regardless of its bound, on
-	// any cycle a host controller issued a command to a rank with NDA
-	// work: the rank's yield (and its StallsHost accounting) happens on
-	// that very cycle, and pure sleep bounds rely on being invalidated
-	// here (a host command moves the rank's horizons and may close its
-	// row). The survey's stashed bound is reused only when no
-	// controller ticked this cycle: a controller tick can mutate the
-	// inputs an impure bound was derived from (a dequeue flipping the
-	// oldest-read rank, say), and NextEvent's version revalidation must
-	// see the post-tick state.
-	ndaWake := s.stepNDAWake
+	ndaWake := s.stepNDAWake[d]
 	if ndaWake == notSurveyed || mcTicked {
-		ndaWake = s.NDA.NextEvent(now)
+		ndaWake = s.NDA.ChannelNextEvent(d, now)
 	}
 	ndaDue := ndaWake <= now
 	if !ndaDue {
-		for _, c := range s.MCs {
-			if r := c.HostIssuedRank(); r >= 0 && s.NDA.RankBusy(c.Channel(), r) {
-				ndaDue = true
-				break
-			}
+		if r := c.HostIssuedRank(); r >= 0 && s.NDA.RankBusy(d, r) {
+			ndaDue = true
 		}
 	}
 	if ndaDue {
-		s.NDA.Tick(now)
+		s.NDA.TickChannel(d, now)
 	}
+}
+
+// tickDue advances the system one DRAM cycle, dispatching only due
+// components: the per-channel memory phase (on the executor when one is
+// running, inline otherwise), the cross-channel commit, the runtime,
+// then the CPU-credit loop with cores in index order — the same phase
+// order as Tick, with skips that are individually proven no-ops (see
+// domainTick for the memory phase; blocked-core skipping is argued at
+// the dispatch loop below).
+func (s *System) tickDue() {
+	now := s.dramCycle
+	switch {
+	case s.exec != nil:
+		s.exec.round(now)
+	case s.domOrder != nil:
+		// Test hook: domains are independent, so any dispatch order
+		// must be bit-identical to the canonical one.
+		for _, d := range s.domOrder {
+			s.domainTick(d, now)
+		}
+	default:
+		for d := range s.doms {
+			s.domainTick(d, now)
+		}
+	}
+	s.commit()
 	rtWake := s.stepRTWake
 	if rtWake == notSurveyed {
 		rtWake = s.RT.NextEvent(now)
@@ -500,6 +635,16 @@ func (s *System) tickDue() {
 // bit-identical to ticking every cycle.
 func (s *System) StepFast(limit int64) {
 	s.NDA.SetFastForward(true)
+	if !s.execInit {
+		s.execInit = true
+		req := s.Cfg.SimWorkers
+		if req < 0 {
+			req = runtime.GOMAXPROCS(0)
+		}
+		if nw := min(req, len(s.doms)); nw > 1 {
+			s.exec = newDomainExec(s, nw)
+		}
+	}
 	if next := s.nextEventFast(); next > s.dramCycle {
 		if next > limit {
 			next = limit

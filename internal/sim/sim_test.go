@@ -20,7 +20,7 @@ func TestHostOnlyMixProgresses(t *testing.T) {
 	if ipc <= 0.1 {
 		t.Errorf("mix8 aggregate IPC = %.3f, expected forward progress", ipc)
 	}
-	if s.Mem.NumRD == 0 {
+	if s.Mem.Counts().RD == 0 {
 		t.Error("no host reads reached DRAM")
 	}
 }
@@ -31,10 +31,10 @@ func TestMemoryIntensiveMixStressesDRAM(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Run(30000)
-	if s.Mem.NumRD < 1000 {
-		t.Errorf("mix1 issued only %d DRAM reads in 30k cycles", s.Mem.NumRD)
+	if s.Mem.Counts().RD < 1000 {
+		t.Errorf("mix1 issued only %d DRAM reads in 30k cycles", s.Mem.Counts().RD)
 	}
-	if s.Mem.NumACT == 0 {
+	if s.Mem.Counts().ACT == 0 {
 		t.Error("no activations issued")
 	}
 }

@@ -5,59 +5,82 @@
 # Usage: scripts/bench.sh [benchtime] [pr-number|output.json]
 #   benchtime       go test -benchtime value (default 5x; CI smoke uses 1x)
 #   pr-number       PR the snapshot belongs to; the output name is derived
-#                   as BENCH_PR<N>.json (default: 3). An argument ending
+#                   as BENCH_PR<N>.json (default: 4). An argument ending
 #                   in .json is used as the output path verbatim (its PR
 #                   number is parsed from the name when possible).
+#
+# The snapshot records three blocks:
+#   benchmarks  the suite at 1 worker (the serial trajectory numbers),
+#               including CalibrationSpin, a pure-CPU spin that anchors
+#               cross-machine normalization in bench_check.sh;
+#   workers4    MixedHostNDA (sim-internal channel-domain executor,
+#               SimWorkers=4) and Fig11BankPartitioning (point-level
+#               runner sharding, Parallel=4) re-run at 4 workers via
+#               CHOPIM_BENCH_WORKERS, with per-benchmark speedups.
+#               Parallel speedup requires free CPUs: on a single-CPU
+#               machine this block measures executor overhead instead,
+#               and the recorded cpus field says so.
 #
 # The baseline block comes from the newest committed BENCH_PR*.json
 # older than the target PR (so each PR's snapshot carries its
 # predecessor's numbers), except PR 3, whose baseline is the
 # interleaved same-machine PR2-vs-PR3 measurement recorded below.
 #
-# The script fails if BenchmarkMixedHostNDA reports any steady-state
-# allocations in the tick loop (the allocation-free contract also pinned
-# by TestTickLoopAllocFree).
+# The script fails if BenchmarkMixedHostNDA or BenchmarkHostStallHeavy
+# report any steady-state allocations in the tick loop (the
+# allocation-free contract also pinned by TestTickLoopAllocFree and
+# TestStallHeavyAllocFree).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${1:-5x}"
-TARGET="${2:-3}"
+TARGET="${2:-4}"
 case "$TARGET" in
 *.json) OUT="$TARGET"; PR="$(echo "$TARGET" | sed -n 's/.*BENCH_PR\([0-9][0-9]*\).*/\1/p')" ;;
 *) PR="$TARGET"; OUT="BENCH_PR${PR}.json" ;;
 esac
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+RAW4="$(mktemp)"
+trap 'rm -f "$RAW" "$RAW4"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkMixedHostNDA$|BenchmarkHostStallHeavy$|BenchmarkFig11BankPartitioning$' \
+    -bench 'BenchmarkMixedHostNDA$|BenchmarkHostStallHeavy$|BenchmarkFig11BankPartitioning$|BenchmarkCalibrationSpin$' \
     -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
 
-BENCH_RAW="$RAW" BENCH_OUT="$OUT" BENCH_PR="$PR" BENCH_TIME="$BENCHTIME" \
+CHOPIM_BENCH_WORKERS=4 go test -run '^$' \
+    -bench 'BenchmarkMixedHostNDA$|BenchmarkFig11BankPartitioning$' \
+    -benchtime "$BENCHTIME" -count 1 . | tee "$RAW4"
+
+BENCH_RAW="$RAW" BENCH_RAW4="$RAW4" BENCH_OUT="$OUT" BENCH_PR="$PR" BENCH_TIME="$BENCHTIME" \
     BENCH_GIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    BENCH_CPUS="$(nproc 2>/dev/null || echo unknown)" \
     python3 - <<'EOF'
 import glob, json, os, re, sys
 
-raw = open(os.environ["BENCH_RAW"]).read()
 out = os.environ["BENCH_OUT"]
 pr = os.environ["BENCH_PR"]
 pr = int(pr) if pr else None
 
-cpu = ""
-benches = {}
-order = []
-for line in raw.splitlines():
-    if line.startswith("cpu:"):
-        cpu = line[len("cpu:"):].strip()
-    m = re.match(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(.*)$", line)
-    if m:
-        name = m.group(1)[len("Benchmark"):]
-        entry = {"ns_per_op": int(float(m.group(2))), "allocs_per_op": None}
-        am = re.search(r"(\d+) allocs/op", m.group(3))
-        if am:
-            entry["allocs_per_op"] = int(am.group(1))
-        benches[name] = entry
-        order.append(name)
+def parse(path):
+    cpu = ""
+    benches = {}
+    order = []
+    for line in open(path).read().splitlines():
+        if line.startswith("cpu:"):
+            cpu = line[len("cpu:"):].strip()
+        m = re.match(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(.*)$", line)
+        if m:
+            name = m.group(1)[len("Benchmark"):]
+            entry = {"ns_per_op": int(float(m.group(2))), "allocs_per_op": None}
+            am = re.search(r"(\d+) allocs/op", m.group(3))
+            if am:
+                entry["allocs_per_op"] = int(am.group(1))
+            benches[name] = entry
+            order.append(name)
+    return cpu, benches, order
+
+cpu, benches, order = parse(os.environ["BENCH_RAW"])
+_, benches4, order4 = parse(os.environ["BENCH_RAW4"])
 if not benches:
     sys.exit("bench.sh: no benchmark results parsed")
 
@@ -109,19 +132,38 @@ doc = {
     "git": os.environ["BENCH_GIT"],
     "benchtime": os.environ["BENCH_TIME"],
     "cpu": cpu,
+    "cpus": os.environ["BENCH_CPUS"],
 }
 if baseline:
     doc["baseline"] = baseline
 doc["benchmarks"] = {name: benches[name] for name in order}
+if benches4:
+    w4 = {"note": "same suite at CHOPIM_BENCH_WORKERS=4: MixedHostNDA uses the "
+                  "channel-domain executor (SimWorkers=4, 2 channel domains on the "
+                  "default geometry), Fig11BankPartitioning point-level runner "
+                  "sharding (Parallel=4). Speedup needs free CPUs (see cpus); on a "
+                  "single-CPU machine this measures scheduling overhead instead."}
+    for name in order4:
+        e = dict(benches4[name])
+        base = benches.get(name, {}).get("ns_per_op")
+        if base and e["ns_per_op"]:
+            e["speedup_vs_1worker"] = round(base / e["ns_per_op"], 3)
+        w4[name] = e
+    doc["workers4"] = w4
 
 with open(out, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 
-allocs = benches.get("MixedHostNDA", {}).get("allocs_per_op")
-if allocs not in (None, 0):
-    sys.exit(f"bench.sh: FAIL: MixedHostNDA steady-state loop allocates "
-             f"({allocs} allocs/op, want 0)")
+# Zero-allocs gate: every host-path benchmark's steady-state loop must
+# stay allocation-free.
+bad = []
+for name in ("MixedHostNDA", "HostStallHeavy"):
+    allocs = benches.get(name, {}).get("allocs_per_op")
+    if allocs not in (None, 0):
+        bad.append(f"{name}: {allocs} allocs/op, want 0")
+if bad:
+    sys.exit("bench.sh: FAIL: steady-state loop allocates: " + "; ".join(bad))
 EOF
 
 echo "bench.sh: wrote $OUT"

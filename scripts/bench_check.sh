@@ -9,17 +9,15 @@
 #
 # CI machines differ in speed from the machine that produced the
 # committed snapshot, so raw ns/op is not comparable. The check
-# normalizes by machine speed: it takes the *median* fresh/committed
-# ratio across shared benchmarks as the machine factor (if everything
-# slowed uniformly, that factor is the slowdown and every normalized
-# ratio is ~1; anchoring on the median rather than the minimum keeps a
-# PR that disproportionately speeds up one benchmark from flagging the
-# others as false regressions), then fails any benchmark whose
-# normalized ratio exceeds the threshold — i.e., a benchmark that
-# regressed relative to its peers. A uniform slowdown of the whole
-# suite cannot be told apart from a slower machine and deliberately
-# passes; the per-PR committed snapshots (same machine, interleaved
-# baseline) are the authoritative absolute record.
+# normalizes by machine speed, anchored on CalibrationSpin — a pure-CPU
+# integer spin with no memory traffic, so its fresh/committed ratio is
+# the machine factor and nothing else. Unlike the old median-of-ratios
+# anchor, a *uniform* regression of the whole simulator suite cannot
+# hide inside the calibration ratio: the spin does not run simulator
+# code. When either snapshot predates the calibration benchmark the
+# check falls back to the median ratio across shared benchmarks (which
+# deliberately passes uniform slowdowns). After normalization, any
+# benchmark whose ratio exceeds the threshold fails.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,6 +36,7 @@ fresh, committed, thresh = sys.argv[1], sys.argv[2], float(sys.argv[3])
 f = json.load(open(fresh))["benchmarks"]
 c = json.load(open(committed))["benchmarks"]
 
+CALIB = "CalibrationSpin"
 shared = sorted(set(f) & set(c))
 ratios = {}
 for name in shared:
@@ -48,9 +47,14 @@ if not ratios:
     print(f"bench_check.sh: no shared benchmarks between {fresh} and {committed}; skipping")
     sys.exit(0)
 
-factor = statistics.median(ratios.values())
+if CALIB in ratios:
+    factor = ratios[CALIB]
+    anchor = "calibration"
+else:
+    factor = statistics.median(ratios.values())
+    anchor = "median"
 print(f"bench_check.sh: comparing {fresh} vs {committed} "
-      f"(machine factor {factor:.2f}, threshold +{(thresh - 1) * 100:.0f}%)")
+      f"(machine factor {factor:.2f} [{anchor}], threshold +{(thresh - 1) * 100:.0f}%)")
 bad = False
 for name, r in sorted(ratios.items()):
     norm = r / factor
@@ -59,12 +63,13 @@ for name, r in sorted(ratios.items()):
     if norm > thresh:
         bad = True
 
-# The allocation gate is absolute: MixedHostNDA's steady-state loop must
-# stay allocation-free on any machine.
-allocs = f.get("MixedHostNDA", {}).get("allocs_per_op")
-if allocs not in (None, 0):
-    print(f"  MixedHostNDA: {allocs} allocs/op, want 0 [FAIL]")
-    bad = True
+# The allocation gate is absolute: every host-path benchmark's
+# steady-state loop must stay allocation-free on any machine.
+for name in sorted(f):
+    allocs = f[name].get("allocs_per_op")
+    if allocs not in (None, 0):
+        print(f"  {name}: {allocs} allocs/op, want 0 [FAIL]")
+        bad = True
 
 sys.exit(1 if bad else 0)
 EOF
