@@ -178,6 +178,37 @@ func BenchmarkHostStallHeavy(b *testing.B) {
 	b.ReportMetric(float64(measureCycles), "DRAM-cycles/op")
 }
 
+// BenchmarkHostComputeHeavy measures the serial CPU front-end in
+// isolation: four high-IPC cache-resident cores (workload.ComputeHeavy)
+// whose issue groups are mostly free of memory instructions, with no NDA
+// traffic, through the production RunFast loop. An active core pins
+// NextEvent to now, so every DRAM tick executes and the cost is almost
+// entirely the CPU-credit loop — the Amdahl term of the channel-domain
+// executor. The window-batched retirement path collapses the
+// compute-bound issue groups arithmetically; allocs/op must stay zero.
+func BenchmarkHostComputeHeavy(b *testing.B) {
+	const measureCycles = 100_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := sim.Default(-1)
+		cfg.SimWorkers = benchWorkers()
+		p := workload.ComputeHeavy()
+		cfg.HostProfiles = []workload.Profile{p, p, p, p}
+		s, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.RunFast(50_000)
+		b.StartTimer()
+		s.RunFast(measureCycles)
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(measureCycles), "DRAM-cycles/op")
+}
+
 // BenchmarkFig02IdleHistogram regenerates Figure 2: rank idle-time
 // breakdown across the Table II mixes.
 func BenchmarkFig02IdleHistogram(b *testing.B) {

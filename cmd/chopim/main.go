@@ -5,7 +5,7 @@
 // Usage:
 //
 //	chopim [-quick] [-warm N] [-measure N] [-parallel N] [-sim-workers N]
-//	       [-cpuprofile F] [-memprofile F] <experiment>
+//	       [-profile-domains] [-cpuprofile F] [-memprofile F] <experiment>
 //
 // Experiments: fig2 fig10 fig11 fig12 fig13 fig14 fig15a fig15b power
 // config all
@@ -17,6 +17,13 @@
 // DESIGN.md §2.5). Tables are identical for every setting of both
 // flags; they compose, but multiplying them oversubscribes small
 // machines, so raise one at a time.
+//
+// -profile-domains records each executed tick's per-channel memory-phase
+// span and serial front-end span (cheap counters inside the simulator;
+// sim.Config.ProfileDomains) and prints the aggregated power-of-two
+// histograms after the experiment — the quick way to see whether a
+// workload is bounded by one hot channel or by the serial front-end
+// before reaching for -sim-workers.
 //
 // -cpuprofile / -memprofile write pprof profiles covering the selected
 // experiment (see README.md, "Profiling").
@@ -48,6 +55,8 @@ func run() int {
 	simWorkers := flag.Int("sim-workers", 1, "channel-domain workers inside each simulation (1 = inline memory phase, -1 = all CPUs, clamped to channels)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	profileDomains := flag.Bool("profile-domains", false,
+		"record per-channel memory-phase and serial front-end tick spans and print the histograms after the experiment")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: chopim [flags] <fig2|fig10|fig11|fig12|fig13|fig14|fig15a|fig15b|power|config|all>\n")
 		flag.PrintDefaults()
@@ -100,6 +109,10 @@ func run() int {
 	}
 	opt.Parallel = *parallel
 	opt.SimWorkers = *simWorkers
+	opt.ProfileDomains = *profileDomains
+	if *profileDomains {
+		defer printPhaseSpans()
+	}
 
 	cmds := map[string]func(experiments.Options) error{
 		"fig2":   runFig2,
@@ -142,6 +155,58 @@ func run() int {
 
 func tw() *tabwriter.Writer {
 	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+// printPhaseSpans renders the -profile-domains histograms: executed-tick
+// span counts per power-of-two-nanosecond bucket, one row per channel
+// domain plus the serial front-end. The executor's per-tick ceiling is
+// the slowest domain, so a single hot channel row (or a front-end row
+// dominating the tail buckets) says where SimWorkers scaling stops.
+func printPhaseSpans() {
+	p := experiments.ReadPhaseSpans()
+	if len(p.Domains) == 0 {
+		fmt.Println("\nprofile-domains: no fast-path ticks recorded")
+		return
+	}
+	// Trim to the occupied bucket range across all rows.
+	lo, hi := len(p.Front), 0
+	rows := append(append([][]int64{}, p.Domains...), p.Front)
+	for _, hist := range rows {
+		for b, n := range hist {
+			if n > 0 {
+				if b < lo {
+					lo = b
+				}
+				if b > hi {
+					hi = b
+				}
+			}
+		}
+	}
+	if lo > hi {
+		fmt.Println("\nprofile-domains: no fast-path ticks recorded")
+		return
+	}
+	fmt.Println("\nprofile-domains: executed-tick phase spans (count per <=2^k ns bucket)")
+	w := tw()
+	fmt.Fprint(w, "phase")
+	for b := lo; b <= hi; b++ {
+		fmt.Fprintf(w, "\t2^%d", b)
+	}
+	fmt.Fprintln(w)
+	for d, hist := range p.Domains {
+		fmt.Fprintf(w, "ch%d-memory", d)
+		for b := lo; b <= hi; b++ {
+			fmt.Fprintf(w, "\t%d", hist[b])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprint(w, "front-end")
+	for b := lo; b <= hi; b++ {
+		fmt.Fprintf(w, "\t%d", p.Front[b])
+	}
+	fmt.Fprintln(w)
+	w.Flush()
 }
 
 func runFig2(opt experiments.Options) error {

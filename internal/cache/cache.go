@@ -58,6 +58,17 @@ type Cache struct {
 	ways  int
 	clock uint64
 
+	// One-entry MRU filter: the last block that hit and the line that
+	// held it. Streaming cores touch the same 64-byte block for several
+	// consecutive accesses, and the repeat hits skip the way scan. The
+	// filter is validated against the line's live tag (a replacement
+	// that reuses the slot fails the check), and the filtered path
+	// performs exactly the state updates the scan would — clock, LRU,
+	// dirty, Hits — so behavior is bit-identical.
+	lastBlock uint64
+	lastTag   uint64
+	lastLine  *line
+
 	Hits, Misses int64
 }
 
@@ -89,6 +100,17 @@ func (c *Cache) set(set int) []line {
 // Lookup probes for the block (address divided by block size), updating
 // LRU and hit/miss counters. If write, a hit marks the line dirty.
 func (c *Cache) Lookup(block uint64, write bool) bool {
+	if block == c.lastBlock {
+		if l := c.lastLine; l != nil && l.valid && l.tag == c.lastTag {
+			c.clock++
+			l.lru = c.clock
+			if write {
+				l.dirty = true
+			}
+			c.Hits++
+			return true
+		}
+	}
 	set, tag := c.index(block)
 	c.clock++
 	ways := c.set(set)
@@ -100,6 +122,7 @@ func (c *Cache) Lookup(block uint64, write bool) bool {
 				l.dirty = true
 			}
 			c.Hits++
+			c.lastBlock, c.lastTag, c.lastLine = block, tag, l
 			return true
 		}
 	}

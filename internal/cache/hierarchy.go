@@ -90,13 +90,19 @@ type Hierarchy struct {
 	Prefetches int64
 	Demand     int64
 
-	// ver counts mutations that can change a future Access outcome:
+	// ver counts mutations that can change a blocked retry's outcome:
 	// fills (cache content, MSHR and L1-pending occupancy) and every
-	// non-Stall Access (insertions, MSHR allocation, merges). Together
-	// with the controllers' queue-space versions it forms the memory
-	// epoch a probe-stalled core's retry outcome depends on: while the
-	// epoch is unchanged, the retry provably stalls again (the Stall
-	// contract on Access) and may be skipped.
+	// Access that got past its L1 (insertions, MSHR allocation,
+	// merges). Together with the controllers' queue-space versions it
+	// forms the memory epoch a probe-stalled core's retry outcome
+	// depends on: while the epoch is unchanged, the retry provably
+	// stalls again (the Stall contract on Access) and may be skipped.
+	// Pure L1 hits deliberately do NOT advance it: they mutate only the
+	// hitting core's private L1 (LRU order, a dirty bit), none of which
+	// a retry probe reads — the probing core is blocked, so the L1
+	// state a hit touched belongs to a different core, and a stalled
+	// access's outcome is decided by cache CONTENT and MSHR/queue
+	// occupancy, which only misses and fills move.
 	ver uint64
 }
 
@@ -187,13 +193,13 @@ func (h *Hierarchy) block(addr uint64) uint64 { return addr / uint64(h.cfg.L1.Bl
 // mutates hierarchy or controller state, so skipping its retry cycles
 // is exact.
 func (h *Hierarchy) Access(core int, addr uint64, write bool, done func(cpuDone int64)) (Result, int64) {
-	h.ver++ // rolled back on Stall; every other outcome mutates state
 	b := h.block(addr)
 	l1, l2 := h.l1[core], h.l2[core]
 
 	if l1.Lookup(b, write) {
-		return Hit, h.cfg.L1.LatencyCPU
+		return Hit, h.cfg.L1.LatencyCPU // private-L1 hit: epoch unmoved (see ver)
 	}
+	h.ver++ // rolled back on Stall; every deeper outcome mutates state
 	if l2.Lookup(b, write) {
 		h.fill(core, b, write, l1, nil)
 		return Hit, h.cfg.L2.LatencyCPU

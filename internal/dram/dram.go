@@ -160,6 +160,14 @@ func (t Timing) Validate() error {
 	if t.CCDL < t.CCDS || t.WTRL < t.WTRS || t.RRDL < t.RRDS {
 		return fmt.Errorf("dram: same-bank-group timings must dominate: %+v", t)
 	}
+	if t.ReadToWrite() < t.CL-t.CWL {
+		// The mc calendar queue relies on the channel-bus horizon
+		// (chanState.extCol) being monotone nondecreasing under legal
+		// command sequences; a read-to-write turnaround shorter than
+		// CL-CWL would let a WR's burst end before the preceding RD's,
+		// moving dataBusyUntil backwards.
+		return fmt.Errorf("dram: ReadToWrite (%d) < CL-CWL (%d): bus horizon not monotone", t.ReadToWrite(), t.CL-t.CWL)
+	}
 	return nil
 }
 

@@ -52,6 +52,16 @@ type rankState struct {
 	// is bumped by every Issue to the rank.
 	stamp int64
 
+	// rowStamp versions the rank's bank ROW state: it is bumped only by
+	// commands that open or close a row (ACT, PRE) — the only commands
+	// that can change which FR-FCFS candidates a bank has, or move a
+	// candidate's earliest-issue cycle EARLIER (an ACT reassigns the
+	// bank's column/PRE horizons outright). Column commands and REF only
+	// push existing horizons forward, so conclusions of the form "bank b
+	// has no candidate ready before cycle T" (the mc calendar's bucket
+	// keys) stay sound across them and may be revalidated lazily.
+	rowStamp int64
+
 	// dataBusyUntil is when the rank's data pins/internal IO finish the
 	// current burst. Used for statistics and NDA idle detection.
 	dataBusyUntil int64
@@ -224,6 +234,7 @@ func New(g Geometry, t Timing) *Mem {
 			rk.bgs = make([]bgState, g.BankGroups)
 			rk.faw = make([]int64, 4)
 			rk.stamp = 1
+			rk.rowStamp = 1
 			for i := range rk.faw {
 				rk.faw[i] = -(1 << 40) // far past: window initially empty
 			}
@@ -271,6 +282,16 @@ func (m *Mem) ChVer(channel int) uint64 { return m.chVer[channel] }
 // constraints are NOT covered; combine with ExtColReady.
 func (m *Mem) RankStamp(channel, rank int) int64 {
 	return m.channels[channel].ranks[rank].stamp
+}
+
+// RowStamp returns a version counter for the rank's bank row state: it
+// advances exactly when a row opens or closes (ACT or PRE issued to the
+// rank) and on nothing else. See rankState.rowStamp for the staleness
+// contract this grants schedulers: while it is unchanged, no bank of
+// the rank gained a candidate, and no candidate's earliest-issue cycle
+// moved earlier — every other command only pushes horizons forward.
+func (m *Mem) RowStamp(channel, rank int) int64 {
+	return m.channels[channel].ranks[rank].rowStamp
 }
 
 // BankSched returns the addressed bank's row state together with every
@@ -535,6 +556,7 @@ func (m *Mem) Issue(cmd Command, a Addr, now int64, internal bool) {
 	switch cmd {
 	case CmdACT:
 		cn.ACT++
+		rk.rowStamp++
 		b.open = true
 		b.row = a.Row
 		b.nextRD = now + int64(t.RCD)
@@ -554,6 +576,7 @@ func (m *Mem) Issue(cmd Command, a Addr, now int64, internal bool) {
 
 	case CmdPRE:
 		cn.PRE++
+		rk.rowStamp++
 		b.open = false
 		maxi(&b.nextACT, now+int64(t.RP))
 

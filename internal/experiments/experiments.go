@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"chopim/internal/dram"
 	"chopim/internal/ndart"
@@ -33,6 +34,15 @@ type Options struct {
 	Parallel      int
 	SimWorkers    int
 	CycleByCycle  bool
+
+	// ProfileDomains enables sim.Config.ProfileDomains on every point
+	// this harness builds; the per-point histograms are merged
+	// process-wide as points complete (ReadPhaseSpans). Spans are only
+	// recorded on the fast path (CycleByCycle points contribute
+	// nothing), and concurrent points on a sharded runner time-slice
+	// one machine, so the histograms are a profile of where simulated
+	// time goes, not a cycle-exact measurement.
+	ProfileDomains bool
 }
 
 // newSystem builds one simulation point's system with the options'
@@ -40,7 +50,35 @@ type Options struct {
 // release it with sim.System.Close (measureConcurrent does).
 func (o Options) newSystem(cfg sim.Config) (*sim.System, error) {
 	cfg.SimWorkers = o.SimWorkers
+	cfg.ProfileDomains = o.ProfileDomains
 	return sim.New(cfg)
+}
+
+// Process-wide phase-span aggregate (see Options.ProfileDomains).
+var (
+	phaseMu    sync.Mutex
+	phaseSpans sim.PhaseSpans
+)
+
+// mergePhaseSpans folds one completed point's histograms into the
+// process-wide aggregate.
+func mergePhaseSpans(p *sim.PhaseSpans) {
+	if p == nil {
+		return
+	}
+	phaseMu.Lock()
+	phaseSpans.Merge(p)
+	phaseMu.Unlock()
+}
+
+// ReadPhaseSpans returns a copy of the process-wide phase-span
+// aggregate (empty histograms when no profiled point has completed).
+func ReadPhaseSpans() sim.PhaseSpans {
+	phaseMu.Lock()
+	defer phaseMu.Unlock()
+	var out sim.PhaseSpans
+	out.Merge(&phaseSpans)
+	return out
 }
 
 // DefaultOptions returns the full-fidelity budget. Warm-up must be long
@@ -77,6 +115,7 @@ type launcher func() (*ndart.Handle, error)
 // readable for post-run counter extraction.
 func measureConcurrent(s *sim.System, it launcher, opt Options) (Result, error) {
 	defer s.Close()
+	defer mergePhaseSpans(s.PhaseSpans())
 	var h *ndart.Handle
 	var err error
 	relaunch := func() error {

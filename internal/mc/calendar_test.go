@@ -1,0 +1,300 @@
+package mc
+
+import (
+	"math/rand"
+	"testing"
+
+	"chopim/internal/addrmap"
+	"chopim/internal/dram"
+)
+
+// TestCalendarInvalidationMatchesReference is the calendar-path
+// equivalence fuzz: the production (calendar) controller is driven
+// wake-to-wake off NextEvent exactly as the system dispatcher drives it
+// — skipped cycles execute nothing but the per-cycle issued-rank reset
+// (ClearIssued), and the cached wake revalidates against Ver/ChVer like
+// sim.mcNext — while the rescan oracle ticks every cycle. On top of the
+// host request stream, NDA-style INTERNAL commands issue directly into
+// both device models: internal ACT/PRE exercise the RowStamp resync
+// (foreign row-state changes re-keying a rank's banks), internal
+// columns exercise the lazy timing-staleness path (keys left stale-low
+// and revalidated when they come due), and sharing banks with host
+// traffic exercises candidate-structure changes the controller itself
+// never caused. Any lost wakeup, stale-high key, or decision
+// divergence shows up as a state mismatch or an un-drained queue.
+func TestCalendarInvalidationMatchesReference(t *testing.T) {
+	g := dram.DefaultGeometry()
+	tm := dram.DDR42400()
+	mapper := addrmap.NewSkylakeLike(g)
+	memA := dram.New(g, tm)
+	memB := dram.New(g, tm)
+	ctlA := NewController(DefaultConfig(), memA, mapper, 0)
+	ctlB := NewController(DefaultConfig(), memB, mapper, 0)
+	ctlB.SetReferenceScheduler(true)
+
+	rng := rand.New(rand.NewSource(0xCA1))
+	hot := make([]uint64, 8)
+	for i := range hot {
+		hot[i] = uint64(rng.Intn(1<<22) * dram.BlockBytes)
+	}
+	nextAddr := func() uint64 {
+		if rng.Intn(100) < 60 {
+			return hot[rng.Intn(len(hot))] + uint64(rng.Intn(64))*dram.BlockBytes
+		}
+		return uint64(rng.Intn(1<<26)) * dram.BlockBytes
+	}
+
+	// NDA-style per-rank streams: each walks ACT -> a few internal
+	// columns -> PRE on a row of its own, on banks host traffic also
+	// uses (GlobalBank of the hot set), advancing only when the device
+	// admits the command — mirroring how a rank NDA interleaves with
+	// the host on shared banks.
+	type ndaStream struct {
+		a     dram.Addr
+		phase int // 0: ACT, 1..burst: columns, burst+1: PRE
+		burst int
+	}
+	streams := make([]*ndaStream, g.Ranks)
+	for r := range streams {
+		streams[r] = &ndaStream{a: dram.Addr{Channel: 0, Rank: r, BankGroup: r % g.BankGroups, Bank: 0, Row: 7000 + r}}
+	}
+
+	var doneA, doneB []int64
+	wake := int64(0)
+	wakeVer, wakeMemVer := uint64(0), uint64(0)
+	wakeValid := false
+	skipped := 0
+	for cyc := int64(0); cyc < 40_000; cyc++ {
+		for rng.Intn(100) < 25 {
+			addr := nextAddr()
+			if mapper.Decode(addr).Channel != 0 {
+				continue
+			}
+			if rng.Intn(100) < 35 {
+				ctlA.EnqueueWrite(addr, cyc)
+				ctlB.EnqueueWrite(addr, cyc)
+			} else {
+				okA := ctlA.EnqueueRead(addr, cyc, func(d int64) { doneA = append(doneA, d) })
+				okB := ctlB.EnqueueRead(addr, cyc, func(d int64) { doneB = append(doneB, d) })
+				if okA != okB {
+					t.Fatalf("cycle %d: enqueue accept diverged", cyc)
+				}
+			}
+		}
+		// Internal (NDA) commands, identical on both devices.
+		for _, s := range streams {
+			if rng.Intn(100) >= 40 {
+				continue
+			}
+			var cmd dram.Command
+			switch {
+			case s.phase == 0:
+				cmd = dram.CmdACT
+				s.burst = 1 + rng.Intn(4)
+			case s.phase <= s.burst:
+				cmd = dram.CmdRD
+				if rng.Intn(2) == 0 {
+					cmd = dram.CmdWR
+				}
+			default:
+				cmd = dram.CmdPRE
+			}
+			if !memA.CanIssue(cmd, s.a, cyc, true) {
+				continue
+			}
+			if !memB.CanIssue(cmd, s.a, cyc, true) {
+				t.Fatalf("cycle %d: internal %v legality diverged", cyc, cmd)
+			}
+			memA.Issue(cmd, s.a, cyc, true)
+			memB.Issue(cmd, s.a, cyc, true)
+			if s.phase++; cmd == dram.CmdPRE {
+				s.phase = 0
+			}
+		}
+		// Oracle: every cycle. Production: wake-to-wake, revalidating
+		// the cached bound exactly like the system's per-controller
+		// wake cache.
+		ctlB.Tick(cyc)
+		if !wakeValid || wakeVer != ctlA.Ver() || wakeMemVer != memA.ChVer(0) {
+			wake = ctlA.NextEvent(cyc)
+			wakeVer, wakeMemVer = ctlA.Ver(), memA.ChVer(0)
+			wakeValid = true
+		}
+		if wake <= cyc {
+			ctlA.Tick(cyc)
+			wakeValid = false
+		} else {
+			ctlA.ClearIssued()
+			skipped++
+		}
+		if a, b := ctrlState(ctlA, memA), ctrlState(ctlB, memB); a != b {
+			t.Fatalf("cycle %d: state diverged:\n calendar: %s\n ref:      %s", cyc, a, b)
+		}
+		if ctlA.HostIssuedRank() != ctlB.HostIssuedRank() {
+			t.Fatalf("cycle %d: HostIssuedRank diverged: %d vs %d",
+				cyc, ctlA.HostIssuedRank(), ctlB.HostIssuedRank())
+		}
+		if len(doneA) != len(doneB) {
+			t.Fatalf("cycle %d: completion counts diverged", cyc)
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("wake-driven path never skipped a cycle; sleep machinery untested")
+	}
+	// Drain: every queued request must retire without further enqueues
+	// (a lost wakeup would leave the calendar controller stuck; keep
+	// driving it wake-to-wake).
+	for cyc := int64(40_000); ; cyc++ {
+		ra, wa := ctlA.QueueOccupancy()
+		rb, wb := ctlB.QueueOccupancy()
+		if ra == 0 && wa == 0 && rb == 0 && wb == 0 {
+			break
+		}
+		if cyc > 400_000 {
+			t.Fatalf("queues failed to drain: calendar %d/%d, ref %d/%d", ra, wa, rb, wb)
+		}
+		ctlB.Tick(cyc)
+		if !wakeValid || wakeVer != ctlA.Ver() || wakeMemVer != memA.ChVer(0) {
+			wake = ctlA.NextEvent(cyc)
+			wakeVer, wakeMemVer = ctlA.Ver(), memA.ChVer(0)
+			wakeValid = true
+		}
+		if wake <= cyc {
+			ctlA.Tick(cyc)
+			wakeValid = false
+		} else {
+			ctlA.ClearIssued()
+		}
+	}
+	for i := range doneA {
+		if doneA[i] != doneB[i] {
+			t.Fatalf("read completion %d diverged: %d vs %d", i, doneA[i], doneB[i])
+		}
+	}
+	if ctlA.ReadsIssued == 0 || ctlA.WritesIssued == 0 || ctlA.PresIssued == 0 {
+		t.Fatalf("degenerate stream: reads=%d writes=%d pres=%d",
+			ctlA.ReadsIssued, ctlA.WritesIssued, ctlA.PresIssued)
+	}
+}
+
+// TestCalendarRowStampRebucket pins the eager-resync half of the
+// calendar's invalidation split: an internal (NDA) row command changes
+// a bank's candidate structure underneath the controller — something
+// the controller's own command stream never caused — and the next
+// scheduling decision must re-derive, not serve the stale bucket.
+func TestCalendarRowStampRebucket(t *testing.T) {
+	g := dram.DefaultGeometry()
+	mapper := addrmap.NewSkylakeLike(g)
+	mem := dram.New(g, dram.DDR42400())
+	c := NewController(DefaultConfig(), mem, mapper, 0)
+
+	// A host read to a closed bank: the bank files under its ACT
+	// horizon (pass-2 candidate).
+	addr := addrOnChannel0(mapper, 0)
+	da := mapper.Decode(addr)
+	var done int64 = -1
+	if !c.EnqueueRead(addr, 0, func(d int64) { done = d }) {
+		t.Fatal("enqueue refused")
+	}
+	if next := c.NextEvent(0); next > 0 {
+		t.Fatalf("ACT candidate ready at 0, NextEvent=%d", next)
+	}
+	// Before the controller runs, an NDA activates the very row the
+	// host wants (legal: the bank is closed and idle). The host's
+	// candidate flips from ACT to a row-hit column; the rank's RowStamp
+	// moved, so the controller must re-key and issue RD — issuing the
+	// stale ACT would panic inside dram.Issue (bank already open).
+	if !mem.CanIssue(dram.CmdACT, da, 0, true) {
+		t.Fatal("internal ACT should be legal on the idle bank")
+	}
+	mem.Issue(dram.CmdACT, da, 0, true)
+	for cyc := int64(0); cyc < 100 && done < 0; cyc++ {
+		c.Tick(cyc)
+	}
+	if done < 0 {
+		t.Fatal("read never completed after NDA opened its row")
+	}
+	if c.ActsIssued != 0 {
+		t.Fatalf("controller issued %d ACTs; the NDA's ACT should have served the row", c.ActsIssued)
+	}
+	if got := mem.Counts().RD; got != 1 {
+		t.Fatalf("RD count = %d, want 1", got)
+	}
+
+}
+
+// TestCalendarLazyVsEagerInvalidation pins the invalidation split at
+// the bucket level (white box): internal column traffic must NOT
+// trigger an eager resync — the staled key is a lower bound that gets
+// revalidated when it comes due, and re-files at the exact pushed-out
+// cycle — while an internal row command (RowStamp) must revalidate the
+// rank's bucketed banks immediately, before any horizon is trusted.
+func TestCalendarLazyVsEagerInvalidation(t *testing.T) {
+	g := dram.DefaultGeometry()
+	mapper := addrmap.NewSkylakeLike(g)
+	mem := dram.New(g, dram.DDR42400())
+	c := NewController(DefaultConfig(), mem, mapper, 0)
+
+	// Open a row internally and enqueue a host hit against it: the
+	// bank's pass-1 candidate is fenced by tRCD, so the first horizon
+	// derivation buckets the bank at ACT+tRCD.
+	addr := addrOnChannel0(mapper, 0)
+	da := mapper.Decode(addr)
+	mem.Issue(dram.CmdACT, da, 0, true)
+	if !c.EnqueueRead(addr, 0, nil) {
+		t.Fatal("enqueue refused")
+	}
+	rdReady := int64(mem.T.RCD)
+	if next := c.NextEvent(0); next != rdReady {
+		t.Fatalf("NextEvent(0) = %d, want tRCD = %d", next, rdReady)
+	}
+	bk := int32(da.Rank*g.BanksPerRank() + da.GlobalBank(g))
+	q := &c.rq
+	if q.calWhere[bk] != calBucket || q.calKey[bk] != rdReady {
+		t.Fatalf("bank filed at where=%d key=%d, want bucketed at %d",
+			q.calWhere[bk], q.calKey[bk], rdReady)
+	}
+
+	// Lazy path: an internal column on the same rank pushes the rank's
+	// column horizons (tCCD) but changes no row state. The bucket key
+	// must stay put (no eager resync), and revalidation at the stale
+	// key must re-file at the exact pushed-out cycle.
+	stamp0 := q.calStamp[da.Rank]
+	mem.Issue(dram.CmdRD, da, rdReady, true)
+	pushed := rdReady + int64(mem.T.CCDL)
+	if q.calKey[bk] != rdReady {
+		t.Fatalf("column traffic moved the bucket key to %d; expected lazy staleness", q.calKey[bk])
+	}
+	if next := c.NextEvent(rdReady); next != pushed {
+		t.Fatalf("NextEvent(%d) = %d, want tCCD_L-pushed %d", rdReady, next, pushed)
+	}
+	if q.calStamp[da.Rank] != stamp0 {
+		t.Fatal("internal column bumped the calendar's row-stamp record; resync was not lazy")
+	}
+	if q.calWhere[bk] != calBucket || q.calKey[bk] != pushed {
+		t.Fatalf("stale key revalidated to where=%d key=%d, want bucketed at %d",
+			q.calWhere[bk], q.calKey[bk], pushed)
+	}
+
+	// Eager path: an internal ACT elsewhere on the rank changes row
+	// state (RowStamp). The next derivation must revalidate the
+	// bucketed bank immediately — observable as a freshly stamped
+	// entry — even though its key has not come due.
+	da2 := da
+	da2.BankGroup = (da.BankGroup + 1) % g.BankGroups
+	da2.Row = 9999
+	actAt := pushed - 1
+	if !mem.CanIssue(dram.CmdACT, da2, actAt, true) {
+		t.Fatalf("internal ACT illegal at %d", actAt)
+	}
+	mem.Issue(dram.CmdACT, da2, actAt, true)
+	if next := c.NextEvent(actAt); next != pushed {
+		t.Fatalf("NextEvent(%d) = %d, want %d", actAt, next, pushed)
+	}
+	if q.calStamp[da.Rank] == stamp0 {
+		t.Fatal("row command did not trigger the eager resync")
+	}
+	if e := &q.sched[q.occPos[bk]]; e.dirty || e.rkStamp != mem.RankStamp(0, da.Rank) {
+		t.Fatal("eager resync left the bucketed bank's entry stale")
+	}
+}

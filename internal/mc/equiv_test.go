@@ -58,7 +58,7 @@ func TestBucketedSchedulerMatchesReference(t *testing.T) {
 			// conflicts, rowWanted keep-open decisions, and drains.
 			hot := make([]uint64, 8)
 			for i := range hot {
-				hot[i] = uint64(rng.Intn(1 << 22) * dram.BlockBytes)
+				hot[i] = uint64(rng.Intn(1<<22) * dram.BlockBytes)
 			}
 			nextAddr := func() uint64 {
 				if rng.Intn(100) < 60 {

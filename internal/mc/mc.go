@@ -7,13 +7,16 @@
 // rank targeted by the oldest outstanding read (next-rank prediction),
 // and pending-demand checks used to prioritize host row commands.
 //
-// Scheduling is incremental: requests are bucketed per (rank, flat bank)
-// at enqueue time (see queue.go), so the per-cycle FR-FCFS passes walk
-// occupied banks instead of rescanning whole queues, and the NDA
-// coordination hooks are O(1) counter reads. The bucketed scheduler is
+// Scheduling is event-driven: requests are bucketed per (rank, flat
+// bank) at enqueue time (see queue.go), and the occupied banks are
+// filed in a calendar queue keyed by each bank's exact earliest-issue
+// cycle (see calendar.go), so a due tick examines only the ready
+// candidates instead of sweeping every occupied bank; the NDA
+// coordination hooks are O(1) counter reads. The calendar scheduler is
 // decision-for-decision equivalent to the original full-rescan one; the
 // rescan survives as scheduleRef, the oracle for the randomized
-// equivalence test (TestBucketedSchedulerMatchesReference).
+// equivalence tests (TestBucketedSchedulerMatchesReference,
+// TestCalendarInvalidationMatchesReference).
 package mc
 
 import (
@@ -76,11 +79,11 @@ type Controller struct {
 	overflow ring.Ring[*Request]
 	drain    bool
 
-	bpr    int      // banks per rank (bankKey stride)
-	bpg    int      // banks per group (flat bank -> bank group)
-	nrank  int      // ranks per channel
-	free   *Request // request node pool
-	seqGen int64
+	bpr        int      // banks per rank (bankKey stride)
+	bpg        int      // banks per group (flat bank -> bank group)
+	nrank      int      // ranks per channel
+	free       *Request // request node pool
+	seqGen     int64
 	stScratch  []int64 // per-rank stamp scratch for schedule sweeps
 	busScratch []int64 // per-rank channel-bus horizon scratch
 
@@ -158,8 +161,8 @@ func NewController(cfg Config, mem *dram.Mem, mapper addrmap.Mapper, channel int
 		stScratch:  make([]int64, mem.Geom.Ranks),
 		busScratch: make([]int64, mem.Geom.Ranks),
 	}
-	c.rq.init(mem.Geom.Channels*mem.Geom.Ranks, c.bpr)
-	c.wq.init(mem.Geom.Channels*mem.Geom.Ranks, c.bpr)
+	c.rq.init(mem.Geom.Channels*mem.Geom.Ranks, c.bpr, mem.Geom.Ranks)
+	c.wq.init(mem.Geom.Channels*mem.Geom.Ranks, c.bpr, mem.Geom.Ranks)
 	for i := 0; i < cfg.ReadQueue+cfg.WriteQueue; i++ {
 		c.free = &Request{qnext: c.free}
 	}
@@ -340,9 +343,10 @@ func (c *Controller) NextEvent(now int64) int64 {
 		}
 		return dram.Never
 	}
-	if c.mem.T.REFI > 0 || c.cross {
-		// Refresh interleaves with scheduling (and mixed-channel queues
-		// run the rescan); stay cycle-exact.
+	if c.mem.T.REFI > 0 || c.cross || c.refSched {
+		// Refresh interleaves with scheduling, and the rescan paths
+		// (mixed-channel queues, oracle mode) derive no horizons; stay
+		// cycle-exact.
 		return now
 	}
 	if c.issuedRank >= 0 {
@@ -360,16 +364,22 @@ func (c *Controller) NextEvent(now int64) int64 {
 		return now // next Tick flips drain hysteresis (Drains counter)
 	}
 	// A Tick that attempted both queues and issued nothing already
-	// derived the horizon as a byproduct of its failed sweeps; serve it
+	// derived the horizon as a byproduct of its failed scans; serve it
 	// while nothing it was derived from has moved (no enqueue or
-	// dequeue — ver — and no command on the channel — ChVer).
+	// dequeue — ver — and no command on the channel — ChVer). The
+	// horizon covers only candidates that can mature on their own
+	// (future timing bounds): ready-but-rowWanted-blocked row commands
+	// are excluded, because their state is provably frozen until a
+	// queue mutation or command issue — events that bump ver or ChVer
+	// and re-derive this bound. Never therefore means "no timing-driven
+	// wake at all": the controller sleeps until such an event.
 	h := dram.Never
 	if c.hintValid && c.hintVer == c.ver && c.hintMemVer == c.mem.ChVer(c.channel) {
 		h = c.hint
 	} else {
 		h = min(c.queueHorizon(&c.rq, false, now), c.queueHorizon(&c.wq, true, now))
 	}
-	if h <= now || h == dram.Never {
+	if h <= now {
 		return now
 	}
 	return h
@@ -377,40 +387,62 @@ func (c *Controller) NextEvent(now int64) int64 {
 
 // queueHorizon bounds when any of the queue's FR-FCFS candidates (pass-1
 // row hits and pass-2 row commands) can first issue, assuming no
-// intervening commands: the minimum over the per-bank entries' ready
-// cycles. Requests blocked structurally on another request's progress
-// (row kept open for an older hit) are covered by that request's own
-// candidate horizon.
+// intervening commands. It runs the same calendar scan the scheduler
+// uses (ready region validated exactly, future banks contribute their
+// lower-bound keys), so the bound is sound — never beyond the true
+// earliest issue — and tightens to exact as candidates approach
+// readiness. Requests blocked structurally on another request's
+// progress (row kept open for an older hit) are covered by that
+// request's own candidate horizon.
 func (c *Controller) queueHorizon(q *reqQueue, writes bool, now int64) int64 {
+	if q.n == 0 {
+		return dram.Never
+	}
 	cmd := dram.CmdRD
 	if writes {
 		cmd = dram.CmdWR
 	}
-	h := dram.Never
-	for _, bk := range q.occ {
-		e := c.entry(q, bk, cmd)
-		if e.p1 != nil {
-			a := &e.p1.DAddr
-			h = min(h, max(e.p1Rank, c.mem.ExtColReady(a.Channel, cmd, a.Rank)))
-		}
-		if e.p2 != nil {
-			h = min(h, e.p2Rank)
-		}
+	best, best2, hzFuture := c.calScan(q, cmd, now)
+	if best != nil || c.readyRow(q, now, best2) != nil {
+		// A ready column or an issuable row command: the controller is
+		// due this very cycle. (Ready row commands that are rowWanted-
+		// blocked are NOT due — their state is frozen until a ver/ChVer
+		// event re-derives this bound — which is what lets the
+		// controller sleep through blocked windows instead of polling.)
+		return now
 	}
-	return h
+	return c.calHorizon(q, cmd, now, hzFuture)
 }
 
-// entry returns the queue's scheduling-cache entry for the occupied
-// bank, recomputing it if the bucket changed or a command issued to the
-// bank's rank since it was derived. Fast-path only (single-channel
-// queues; cross harnesses never reach the cached scheduler).
-func (c *Controller) entry(q *reqQueue, bk int32, cmd dram.Command) *bankEntry {
-	e := &q.sched[q.occPos[bk]]
-	st := c.mem.RankStamp(c.channel, int(bk)/c.bpr-c.channel*c.nrank)
-	if e.dirty || e.rkStamp != st {
-		c.recomputeEntry(q, e, bk, cmd, st)
+// readyRow returns the oldest ready pass-2 entry whose row command can
+// actually issue this cycle: ACTs unconditionally, PREs only when the
+// open row is no longer wanted by any queued request. The rowWanted
+// re-check and oldest-first resume mirror the rescan's pass 2 exactly;
+// candidates are drawn from the calendar's ready region, which calScan
+// left validated and holding every bank with a ready candidate. It
+// evaluates without mutating, so both schedule (to issue) and
+// queueHorizon (to decide due-ness) share it.
+func (c *Controller) readyRow(q *reqQueue, now int64, best2 *bankEntry) *bankEntry {
+	lastSeq := int64(-1)
+	for best2 != nil {
+		r := best2.p2
+		if best2.p2Cmd == dram.CmdPRE && c.rowWanted(r.DAddr, int(best2.p2Row)) {
+			lastSeq = r.seq
+			best2 = nil
+			for bk := q.calReady; bk != -1; bk = q.calNext[bk] {
+				e := &q.sched[q.occPos[bk]]
+				if e.p2 == nil || e.p2Rank > now || e.p2.seq <= lastSeq {
+					continue
+				}
+				if best2 == nil || e.p2.seq < best2.p2.seq {
+					best2 = e
+				}
+			}
+			continue
+		}
+		return best2
 	}
-	return e
+	return nil
 }
 
 // recomputeEntry re-derives one bank's candidates (see bankEntry). All
@@ -543,14 +575,15 @@ func (c *Controller) setHint(h int64) {
 // column command in oldest-first order, then a row command (ACT or PRE)
 // for the oldest request per bank. Returns true if a command issued.
 //
-// It walks the occupied-bank entries (see bankEntry): pass 1's only
-// viable requests are each open bank's oldest row hit (younger hits to
-// the same bank share every timing constraint), pass 2's are the bucket
-// heads (exactly the requests the rescan's visited-bank set selected).
-// A candidate is ready iff now has reached its exact horizon — the
-// cached rank-side bound plus, for columns, the O(1) channel-bus bound —
-// so "oldest ready" equals the rescan's "first in arrival order passing
-// CanIssue".
+// Candidate selection runs off the calendar queue (calendar.go): the
+// per-bank entries are unchanged (pass 1's only viable requests are
+// each open bank's oldest row hit, pass 2's are the bucket heads —
+// exactly the requests the rescan's visited-bank set selected), but
+// only the ready region is examined per due tick instead of every
+// occupied bank. A candidate is ready iff now has reached its exact
+// horizon — the cached rank-side bound plus, for columns, the O(1)
+// channel-bus bound — so "oldest ready" equals the rescan's "first in
+// arrival order passing CanIssue".
 func (c *Controller) schedule(q *reqQueue, now int64, writes bool) bool {
 	c.sweepHz = dram.Never
 	if q.n == 0 {
@@ -565,47 +598,13 @@ func (c *Controller) schedule(q *reqQueue, now int64, writes bool) bool {
 	if writes {
 		cmd = dram.CmdWR
 	}
-	// On the fast path every request shares the controller's channel
-	// (cross harnesses took the rescan above), so the per-rank stamps
-	// and channel-bus horizons hoist out of the bank sweep.
-	base := int32(c.channel * c.nrank)
-	for r := 0; r < c.nrank; r++ {
-		c.stScratch[r] = c.mem.RankStamp(c.channel, r)
-		c.busScratch[r] = c.mem.ExtColReady(c.channel, cmd, r)
-	}
-	// One sweep finds both passes' oldest ready candidates (the row hit
-	// — pass 1 — always wins over a row command, pass 2) and, as a free
-	// byproduct, the min candidate horizon (sweepHz) a no-issue Tick
-	// publishes for NextEvent; the per-bank values match queueHorizon's
-	// exactly.
-	hz := dram.Never
-	var best *Request
-	var best2 *bankEntry
-	for i, bk := range q.occ {
-		rank := (bk >> q.shift) - base
-		e := &q.sched[i]
-		if e.dirty || e.rkStamp != c.stScratch[rank] {
-			c.recomputeEntry(q, e, bk, cmd, c.stScratch[rank])
-		}
-		if r := e.p1; r != nil {
-			h := max(e.p1Rank, c.busScratch[rank])
-			if h < hz {
-				hz = h
-			}
-			if h <= now && (best == nil || r.seq < best.seq) {
-				best = r
-			}
-		}
-		if e.p2 != nil {
-			if e.p2Rank < hz {
-				hz = e.p2Rank
-			}
-			if e.p2Rank <= now && (best2 == nil || e.p2.seq < best2.p2.seq) {
-				best2 = e
-			}
-		}
-	}
-	c.sweepHz = hz
+	// The scan finds both passes' oldest ready candidates (the row hit
+	// — pass 1 — always wins over a row command, pass 2). The exact min
+	// candidate horizon (sweepHz, the fused hint NextEvent serves) is
+	// derived only on the no-issue paths below — an issuing tick's
+	// horizon is never consumed.
+	best, best2, hzReady := c.calScan(q, cmd, now)
+	c.sweepHz = hzReady
 	if best != nil {
 		c.issueColumn(cmd, best, q, now, writes)
 		return true
@@ -613,34 +612,20 @@ func (c *Controller) schedule(q *reqQueue, now int64, writes bool) bool {
 	// Pass 2: row commands in age order among the ready candidates. A
 	// PRE re-checks rowWanted at issue time (the open-page policy may
 	// have gained a waiter from the other queue since the entry was
-	// derived); on a skip the sweep resumes at the next-oldest ready
-	// candidate.
-	lastSeq := int64(-1)
-	for best2 != nil {
-		r := best2.p2
-		if best2.p2Cmd == dram.CmdPRE && c.rowWanted(r.DAddr, int(best2.p2Row)) {
-			lastSeq = r.seq
-			best2 = nil
-			for i := range q.occ {
-				e := &q.sched[i] // validated by the sweep above
-				if e.p2 == nil || e.p2Rank > now || e.p2.seq <= lastSeq {
-					continue
-				}
-				if best2 == nil || e.p2.seq < best2.p2.seq {
-					best2 = e
-				}
-			}
-			continue
-		}
-		c.mem.Issue(best2.p2Cmd, r.DAddr, now, false)
-		if best2.p2Cmd == dram.CmdPRE {
+	// derived); on a skip readyRow resumes at the next-oldest ready
+	// candidate — still within the ready region, which calScan left
+	// holding every bank with a ready candidate, validated.
+	if e := c.readyRow(q, now, best2); e != nil {
+		c.mem.Issue(e.p2Cmd, e.p2.DAddr, now, false)
+		if e.p2Cmd == dram.CmdPRE {
 			c.PresIssued++
 		} else {
 			c.ActsIssued++
 		}
-		c.markRowCmd(r.DAddr, now)
+		c.markRowCmd(e.p2.DAddr, now)
 		return true
 	}
+	c.sweepHz = c.calHorizon(q, cmd, now, hzReady)
 	return false
 }
 
@@ -704,7 +689,7 @@ func (c *Controller) scheduleRef(q *reqQueue, now int64, writes bool) bool {
 // of the same bank (open-page policy keeps it open for them). It scans
 // the bank's buckets in both queues — O(per-bank occupancy).
 func (c *Controller) rowWanted(a dram.Addr, openRow int) bool {
-	key := int32((a.Channel*c.nrank + a.Rank) * c.bpr + a.GlobalBank(c.mem.Geom))
+	key := int32((a.Channel*c.nrank+a.Rank)*c.bpr + a.GlobalBank(c.mem.Geom))
 	for r := c.rq.banks[key].head; r != nil; r = r.bnext {
 		if r.DAddr.Row == openRow {
 			return true

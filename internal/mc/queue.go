@@ -32,19 +32,63 @@ type reqQueue struct {
 	n          int
 	shift      uint // log2(banks per rank group): bankKey >> shift = rank group
 
-	banks  []bankList  // indexed by Request.bankKey
-	rankN  []int       // queued requests per (channel, rank) group
-	occ    []int32     // occupied bank keys, unordered (swap-removed)
-	occPos []int32     // bankKey -> index into occ, -1 when absent
+	banks  []bankList // indexed by Request.bankKey
+	rankN  []int      // queued requests per (channel, rank) group
+	occ    []int32    // occupied bank keys, unordered (swap-removed)
+	occPos []int32    // bankKey -> index into occ, -1 when absent
 	// sched is the per-bank scheduling cache, kept DENSE: sched[i] is
 	// the entry for occ[i], maintained through the same swap-removal.
-	// The FR-FCFS sweep walks occ and sched linearly — with entries
-	// packed, the hottest loop in the controller streams through a few
-	// cache lines instead of striding a sparse bankKey-indexed array.
+	// The calendar's examine loops resolve entries through occPos; the
+	// packed layout keeps the stamp-resync walk streaming.
 	sched []bankEntry
+
+	// Per-rank-group occupied-bank lists: every occupied bank is on the
+	// list of its (channel, rank) group, so a rank-stamp resync touches
+	// only the changed rank's banks (see calendar.go). Linked by bankKey
+	// (stable across occ swap-removal).
+	rgHead []int32 // rank group -> first occupied bankKey, -1 when none
+	rgNext []int32 // bankKey -> next occupied bankKey in the group
+	rgPrev []int32
+
+	// Calendar-queue state (see calendar.go). Every occupied bank is in
+	// exactly one of: a ring bucket (future ready cycle), the ready
+	// list (ready cycle <= the last synced tick, or pending
+	// revalidation), or the overflow list (ready cycle beyond the ring
+	// window). calKey holds the bank's bucket key; for ready/overflow
+	// membership it is advisory only.
+	calBase  int64    // smallest key the ring can hold
+	calCount int      // banks currently in ring buckets
+	calBits  []uint64 // calWords words: non-empty bucket slots
+	calBkt   []int32  // calSlots slot heads (bankKey), -1 when empty
+	calKey   []int64  // bankKey -> current key
+	calNext  []int32  // bankKey -> calendar list links
+	calPrev  []int32
+	calWhere []uint8 // bankKey -> calAbsent/calBucket/calReady/calOver
+	calReady int32   // ready-list head
+	calOver  int32   // overflow-list head
+	calStamp []int64 // local rank -> RankStamp at last resync (0 = never)
 }
 
-func (q *reqQueue) init(rankGroups, banksPerRank int) {
+// Calendar geometry: the ring covers calSlots consecutive cycles, one
+// exact key per slot (key & calMask). With refresh disabled every
+// earliest-issue horizon lies within ~tRC of the cycle it was derived
+// at, far inside the window; refresh pushes horizons by tRFC, which the
+// overflow list absorbs.
+const (
+	calSlots = 256
+	calMask  = calSlots - 1
+	calWords = calSlots / 64
+)
+
+// Calendar membership states (reqQueue.calWhere).
+const (
+	calAbsent uint8 = iota
+	calBucket
+	calInReady
+	calInOver
+)
+
+func (q *reqQueue) init(rankGroups, banksPerRank, localRanks int) {
 	nb := rankGroups * banksPerRank
 	for 1<<q.shift < banksPerRank {
 		q.shift++ // geometry fields are validated powers of two
@@ -54,8 +98,26 @@ func (q *reqQueue) init(rankGroups, banksPerRank int) {
 	q.rankN = make([]int, rankGroups)
 	q.occ = make([]int32, 0, nb)
 	q.occPos = make([]int32, nb)
+	q.rgHead = make([]int32, rankGroups)
+	q.rgNext = make([]int32, nb)
+	q.rgPrev = make([]int32, nb)
+	q.calBits = make([]uint64, calWords)
+	q.calBkt = make([]int32, calSlots)
+	q.calKey = make([]int64, nb)
+	q.calNext = make([]int32, nb)
+	q.calPrev = make([]int32, nb)
+	q.calWhere = make([]uint8, nb)
+	q.calReady = -1
+	q.calOver = -1
+	q.calStamp = make([]int64, localRanks)
 	for i := range q.occPos {
 		q.occPos[i] = -1
+	}
+	for i := range q.rgHead {
+		q.rgHead[i] = -1
+	}
+	for i := range q.calBkt {
+		q.calBkt[i] = -1
 	}
 }
 
@@ -76,11 +138,17 @@ func (q *reqQueue) push(r *Request) {
 	if bl.tail != nil {
 		bl.tail.bnext = r
 		q.sched[q.occPos[r.bankKey]].dirty = true
+		// The new request can add an earlier candidate (a row hit where
+		// the entry only had a row command); park the bank in the ready
+		// region so the next scan revalidates it.
+		q.calForceReady(r.bankKey)
 	} else {
 		bl.head = r
 		q.occPos[r.bankKey] = int32(len(q.occ))
 		q.occ = append(q.occ, r.bankKey)
 		q.sched = append(q.sched, bankEntry{dirty: true})
+		q.rgLink(r.bankKey)
+		q.calPushReady(r.bankKey)
 	}
 	bl.tail = r
 	bl.n++
@@ -128,6 +196,12 @@ func (q *reqQueue) remove(r *Request) {
 		// request nodes are pooled for the controller's lifetime.
 		q.sched[i] = q.sched[last]
 		q.sched = q.sched[:last]
+		q.rgUnlink(r.bankKey)
+		q.calUnlink(r.bankKey)
+	} else {
+		// The bank head (pass-2 candidate) or oldest row hit may have
+		// changed; revalidate on the next scan.
+		q.calForceReady(r.bankKey)
 	}
 	r.qnext, r.qprev, r.bnext, r.bprev = nil, nil, nil, nil
 }

@@ -44,6 +44,26 @@ func TestTickLoopAllocFree(t *testing.T) {
 	}
 }
 
+// TestComputeHeavyAllocFree extends the zero-allocs contract to the
+// compute-heavy host path (BenchmarkHostComputeHeavy's shape): the
+// window-batched retirement machinery — the per-core issue-group
+// lookahead and the deferred ROB materialization — must run from
+// fixed per-core state, never the heap.
+func TestComputeHeavyAllocFree(t *testing.T) {
+	cfg := Default(-1)
+	p := workload.ComputeHeavy()
+	cfg.HostProfiles = []workload.Profile{p, p, p, p}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunFast(50_000)
+	allocs := testing.AllocsPerRun(5, func() { s.RunFast(20_000) })
+	if allocs != 0 {
+		t.Fatalf("compute-heavy steady state allocated %.1f objects per 20k-cycle window, want 0", allocs)
+	}
+}
+
 // TestStallHeavyAllocFree extends the zero-allocs contract to the
 // stall-heavy host path (BenchmarkHostStallHeavy's shape): the 64 MiB
 // random footprints warm the MSHR machinery much more slowly than the

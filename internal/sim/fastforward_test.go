@@ -134,8 +134,25 @@ func ffWorkloads() []ffWorkload {
 			return a.Iterate, nil
 		},
 	}
+	// Compute-heavy shapes for the PR 5 window-batched retirement path:
+	// high-IPC cache-resident cores whose issue groups are mostly free of
+	// memory instructions (goldens pinned from the pre-refactor tree).
+	// The mixed variant layers NDA COPY traffic over the compute cores so
+	// batched windows interleave with fills, launches, and writebacks.
+	computeHeavy := ffWorkload{name: "host-compute-heavy", cfg: hostProfiles(workload.ComputeHeavy())}
+	mixedCompute := ffWorkload{
+		name: "mixed-compute-copy",
+		cfg:  hostProfiles(workload.ComputeHeavy()),
+		app: func(s *System) (func() (*ndart.Handle, error), error) {
+			a, err := apps.NewMicroPlaced(s.RT, "copy", (128<<10)/4, ndart.Private)
+			if err != nil {
+				return nil, err
+			}
+			return a.Iterate, nil
+		},
+	}
 	return []ffWorkload{hostOnly, ndaOnly, ndaCopy, mixed, mixedShared,
-		stallHeavy, storeHeavy, lsqSat, mixedStall}
+		stallHeavy, storeHeavy, lsqSat, mixedStall, computeHeavy, mixedCompute}
 }
 
 // drive advances sys through segments cycles-long windows, relaunching

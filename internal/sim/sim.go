@@ -7,7 +7,9 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
+	"time"
 
 	"chopim/internal/addrmap"
 	"chopim/internal/cache"
@@ -77,8 +79,68 @@ type Config struct {
 	// system built with SimWorkers > 1 to release the worker goroutines.
 	SimWorkers int
 
+	// ProfileDomains enables cheap per-domain phase-span counters on the
+	// fast path: every executed tick's per-channel memory phase and the
+	// serial front-end (commit, runtime, CPU-credit loop) record their
+	// wall-clock span into power-of-two-nanosecond histograms
+	// (PhaseSpans). The executor's ceiling is the slowest domain per
+	// tick, so the histograms show whether a workload is bounded by one
+	// hot channel or by the serial front-end. Off by default: the tick
+	// loop then pays a single nil check per phase.
+	ProfileDomains bool
+
 	Seed int64
 }
+
+// PhaseSpans is the domain-phase profiling result (Config.
+// ProfileDomains): per-channel memory-phase tick-span histograms and
+// the serial front-end span histogram. Bucket i counts executed-tick
+// spans in [2^(i-1), 2^i) nanoseconds.
+type PhaseSpans struct {
+	Domains [][]int64 // [channel][bucket]
+	Front   []int64   // commit + runtime + CPU phases, per tick
+}
+
+// phaseBuckets bounds the histograms: 2^24 ns ≈ 16 ms per tick-phase,
+// far beyond any real span.
+const phaseBuckets = 25
+
+// bucketNS files a span into its power-of-two bucket.
+func bucketNS(d time.Duration) int {
+	b := bits.Len64(uint64(d.Nanoseconds()))
+	if b >= phaseBuckets {
+		b = phaseBuckets - 1
+	}
+	return b
+}
+
+// Merge accumulates o into p, growing the domain list as needed (the
+// experiment runner merges points with differing channel counts).
+func (p *PhaseSpans) Merge(o *PhaseSpans) {
+	if o == nil {
+		return
+	}
+	for len(p.Domains) < len(o.Domains) {
+		p.Domains = append(p.Domains, make([]int64, phaseBuckets))
+	}
+	if p.Front == nil {
+		p.Front = make([]int64, phaseBuckets)
+	}
+	for d, hist := range o.Domains {
+		for b, n := range hist {
+			p.Domains[d][b] += n
+		}
+	}
+	for b, n := range o.Front {
+		p.Front[b] += n
+	}
+}
+
+// PhaseSpans returns the accumulated phase-span histograms, or nil when
+// the system was built without Config.ProfileDomains. The system's
+// workers write only their own domain's slots, so reading is safe once
+// the system is quiescent (between Run/RunFast calls).
+func (s *System) PhaseSpans() *PhaseSpans { return s.prof }
 
 // Default returns the paper's baseline configuration running the given
 // mix with bank partitioning enabled.
@@ -155,6 +217,10 @@ type System struct {
 	exec     *domainExec
 	execInit bool
 	domOrder []int
+
+	// prof collects phase-span histograms when Config.ProfileDomains is
+	// set (nil otherwise; see PhaseSpans).
+	prof *PhaseSpans
 
 	measStartDRAM int64
 	measStartCPU  int64
@@ -236,6 +302,12 @@ func New(cfg Config) (*System, error) {
 	s.coreDue = make([]bool, len(s.Cores))
 	s.coreEpoch = make([]uint64, len(s.Cores))
 	s.stepNDAWake = make([]int64, len(s.MCs))
+	if cfg.ProfileDomains {
+		s.prof = &PhaseSpans{Front: make([]int64, phaseBuckets)}
+		for range s.MCs {
+			s.prof.Domains = append(s.prof.Domains, make([]int64, phaseBuckets))
+		}
+	}
 	s.doms = make([]domain, len(s.MCs))
 	for d := range s.doms {
 		dom := &s.doms[d]
@@ -493,6 +565,17 @@ func (s *System) skipIdle(k int64) {
 //     own channel's controller and timing state, and cross-channel
 //     effects are mailboxed until commit.
 func (s *System) domainTick(d int, now int64) {
+	if s.prof != nil {
+		t0 := time.Now()
+		s.domainTickBody(d, now)
+		s.prof.Domains[d][bucketNS(time.Since(t0))]++
+		return
+	}
+	s.domainTickBody(d, now)
+}
+
+// domainTickBody is domainTick minus the optional span measurement.
+func (s *System) domainTickBody(d int, now int64) {
 	c := s.MCs[d]
 	// Dispatch straight off the cached bound: due when it expired or
 	// when any derivation input moved (ticking on a stale bound is
@@ -542,6 +625,13 @@ func (s *System) tickDue() {
 		for d := range s.doms {
 			s.domainTick(d, now)
 		}
+	}
+	// Front-end span (Config.ProfileDomains): everything after the
+	// memory-phase barrier — commit, runtime, and the CPU-credit loop —
+	// is the tick's serial portion, the Amdahl term of the executor.
+	var profT0 time.Time
+	if s.prof != nil {
+		profT0 = time.Now()
 	}
 	s.commit()
 	rtWake := s.stepRTWake
@@ -599,13 +689,25 @@ func (s *System) tickDue() {
 			}
 			s.cpuCycle = cEnd
 			s.dramCycle++
+			if s.prof != nil {
+				s.prof.Front[bucketNS(time.Since(profT0))]++
+			}
 			return
 		}
 	}
 	for cc := s.cpuCycle; cc < cEnd; cc++ {
 		for i, core := range s.Cores {
 			if s.coreDue[i] {
-				core.Tick(cc)
+				// Window-batched retirement: a due core first attempts
+				// the batched cycle (bit-exact to Tick, and touching no
+				// shared state — so it cannot perturb other cores'
+				// probes or the epoch within this lockstep sub-cycle);
+				// cycles whose issue group reaches a memory instruction
+				// fall back to the full Tick. Run never batches — it is
+				// the instruction-at-a-time oracle.
+				if !core.BatchTick(cc) {
+					core.Tick(cc)
+				}
 				continue
 			}
 			if core.ProbeStalled() {
@@ -627,6 +729,9 @@ func (s *System) tickDue() {
 	}
 	s.cpuCycle = cEnd
 	s.dramCycle++
+	if s.prof != nil {
+		s.prof.Front[bucketNS(time.Since(profT0))]++
+	}
 }
 
 // StepFast advances the system to its next event (clamped to limit) and

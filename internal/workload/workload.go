@@ -172,6 +172,20 @@ func StallHeavy() Profile {
 		Footprint: 64 << 20, StreamFrac: 0.05, Streams: 2, DepFrac: 0.9}
 }
 
+// ComputeHeavy returns the synthetic profile behind
+// BenchmarkHostComputeHeavy and the compute-heavy goldens: a high-IPC,
+// cache-resident core. The 160 KiB footprint sits entirely inside the
+// 256 KiB L2 after warm-up, MemRatio 0.04 makes most width-8 issue
+// groups free of memory instructions, and DepFrac 0.1 keeps dependency
+// chains long enough that issue runs near full width (per-core IPC in
+// the 5-6 range) — the shape that maximizes the compute-bound windows
+// the batched-retirement path can collapse, while still touching memory
+// often enough to exercise the batch/issue boundary.
+func ComputeHeavy() Profile {
+	return Profile{Name: "compute_heavy", Class: Low, MemRatio: 0.04, WriteFrac: 0.2,
+		Footprint: 160 << 10, StreamFrac: 0.6, Streams: 2, DepFrac: 0.1}
+}
+
 // MixProfiles resolves mix index i to its benchmark profiles.
 func MixProfiles(i int) ([]Profile, error) {
 	if i < 0 || i >= len(Mixes) {

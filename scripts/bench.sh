@@ -26,10 +26,11 @@
 # predecessor's numbers), except PR 3, whose baseline is the
 # interleaved same-machine PR2-vs-PR3 measurement recorded below.
 #
-# The script fails if BenchmarkMixedHostNDA or BenchmarkHostStallHeavy
-# report any steady-state allocations in the tick loop (the
-# allocation-free contract also pinned by TestTickLoopAllocFree and
-# TestStallHeavyAllocFree).
+# The script fails if BenchmarkMixedHostNDA, BenchmarkHostStallHeavy,
+# or BenchmarkHostComputeHeavy report any steady-state allocations in
+# the tick loop (the allocation-free contract also pinned by
+# TestTickLoopAllocFree, TestStallHeavyAllocFree, and
+# TestComputeHeavyAllocFree).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,7 +45,7 @@ RAW4="$(mktemp)"
 trap 'rm -f "$RAW" "$RAW4"' EXIT
 
 go test -run '^$' \
-    -bench 'BenchmarkMixedHostNDA$|BenchmarkHostStallHeavy$|BenchmarkFig11BankPartitioning$|BenchmarkCalibrationSpin$' \
+    -bench 'BenchmarkMixedHostNDA$|BenchmarkHostStallHeavy$|BenchmarkHostComputeHeavy$|BenchmarkFig11BankPartitioning$|BenchmarkCalibrationSpin$' \
     -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
 
 CHOPIM_BENCH_WORKERS=4 go test -run '^$' \
@@ -158,7 +159,7 @@ with open(out, "w") as f:
 # Zero-allocs gate: every host-path benchmark's steady-state loop must
 # stay allocation-free.
 bad = []
-for name in ("MixedHostNDA", "HostStallHeavy"):
+for name in ("MixedHostNDA", "HostStallHeavy", "HostComputeHeavy"):
     allocs = benches.get(name, {}).get("allocs_per_op")
     if allocs not in (None, 0):
         bad.append(f"{name}: {allocs} allocs/op, want 0")
