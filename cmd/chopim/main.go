@@ -5,10 +5,20 @@
 // Usage:
 //
 //	chopim [-quick] [-warm N] [-measure N] [-parallel N] [-sim-workers N]
-//	       [-profile-domains] [-cpuprofile F] [-memprofile F] <experiment>
+//	       [-profile-domains] [-cache-dir D] [-checkpoint D [-resume]]
+//	       [-cpuprofile F] [-memprofile F] <experiment>
 //
 // Experiments: fig2 fig10 fig11 fig12 fig13 fig14 fig15a fig15b power
 // config all
+//
+// -cache-dir D keeps a content-addressed result cache: every figure's
+// rows are stored under a hash of the model version and the
+// behavior-selecting options, and a later run whose fingerprint matches
+// replays the stored rows without simulating (figures are deterministic,
+// so the replay is exact). -checkpoint D journals each completed
+// simulation point of every sweep as it finishes; -resume makes an
+// interrupted run pick up at the last completed point. A run with
+// either flag reports cache hits/misses and resumed points at exit.
 //
 // -parallel N shards each figure's independent simulation points across
 // N workers (-1 = all CPUs). -sim-workers N additionally parallelizes
@@ -57,6 +67,12 @@ func run() int {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	profileDomains := flag.Bool("profile-domains", false,
 		"record per-channel memory-phase and serial front-end tick spans and print the histograms after the experiment")
+	cacheDir := flag.String("cache-dir", "",
+		"content-addressed figure result cache: replay figures whose options fingerprint matches a stored entry, store the rest")
+	checkpoint := flag.String("checkpoint", "",
+		"sweep progress journal directory: record each completed simulation point as it finishes")
+	resume := flag.Bool("resume", false,
+		"pick an interrupted sweep up at the last completed point recorded in the -checkpoint journals")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: chopim [flags] <fig2|fig10|fig11|fig12|fig13|fig14|fig15a|fig15b|power|config|all>\n")
 		flag.PrintDefaults()
@@ -113,6 +129,16 @@ func run() int {
 	if *profileDomains {
 		defer printPhaseSpans()
 	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintf(os.Stderr, "chopim: -resume requires -checkpoint DIR (the journals to resume from)\n")
+		return 2
+	}
+	opt.CacheDir = *cacheDir
+	opt.JournalDir = *checkpoint
+	opt.Resume = *resume
+	if *cacheDir != "" || *checkpoint != "" {
+		defer printCacheStats()
+	}
 
 	cmds := map[string]func(experiments.Options) error{
 		"fig2":   runFig2,
@@ -155,6 +181,15 @@ func run() int {
 
 func tw() *tabwriter.Writer {
 	return tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+}
+
+// printCacheStats reports result-cache and resume activity after a run
+// with -cache-dir or -checkpoint (CI greps this line to assert the
+// second run of a cached figure hits).
+func printCacheStats() {
+	st := experiments.ReadRunnerStats()
+	fmt.Printf("\ncache: %d hits, %d misses; resumed %d points; %d warm forks\n",
+		st.CacheHits, st.CacheMisses, st.Resumed, st.WarmForks)
 }
 
 // printPhaseSpans renders the -profile-domains histograms: executed-tick

@@ -62,6 +62,7 @@ type mshr struct {
 
 type waiter struct {
 	core int
+	slot int // the waiting core's ROB slot (snapshot identity for done)
 	done func(cpuDone int64)
 }
 
@@ -192,7 +193,7 @@ func (h *Hierarchy) block(addr uint64) uint64 { return addr / uint64(h.cfg.L1.Bl
 // therefore re-probes with identical outcome until some other component
 // mutates hierarchy or controller state, so skipping its retry cycles
 // is exact.
-func (h *Hierarchy) Access(core int, addr uint64, write bool, done func(cpuDone int64)) (Result, int64) {
+func (h *Hierarchy) Access(core int, addr uint64, write bool, slot int, done func(cpuDone int64)) (Result, int64) {
 	b := h.block(addr)
 	l1, l2 := h.l1[core], h.l2[core]
 
@@ -220,7 +221,7 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool, done func(cpuDone 
 			return h.stall(core)
 		}
 		h.l1Pending[core]++
-		m.waiters = append(m.waiters, waiter{core: core, done: done})
+		m.waiters = append(m.waiters, waiter{core: core, slot: slot, done: done})
 		return Queued, 0
 	}
 
@@ -234,7 +235,7 @@ func (h *Hierarchy) Access(core int, addr uint64, write bool, done func(cpuDone 
 	m := h.allocMSHR(core, b, write, false)
 	if !write {
 		h.l1Pending[core]++
-		m.waiters = append(m.waiters, waiter{core: core, done: done})
+		m.waiters = append(m.waiters, waiter{core: core, slot: slot, done: done})
 	}
 	if !h.backend.EnqueueRead(addr, m.fill) {
 		if !write {

@@ -45,7 +45,7 @@ func testHier(cores int) (*Hierarchy, *fakeBackend) {
 func TestMissGoesToMemoryThenHits(t *testing.T) {
 	h, b := testHier(1)
 	var completed int64 = -1
-	res, _ := h.Access(0, 0x1000, false, func(c int64) { completed = c })
+	res, _ := h.Access(0, 0x1000, false, 0, func(c int64) { completed = c })
 	if res != Queued {
 		t.Fatalf("first access = %v, want Queued", res)
 	}
@@ -56,7 +56,7 @@ func TestMissGoesToMemoryThenHits(t *testing.T) {
 	if completed != 300*10/3+h.cfg.LLC.LatencyCPU {
 		t.Errorf("completion cycle = %d", completed)
 	}
-	res, lat := h.Access(0, 0x1000, false, nil)
+	res, lat := h.Access(0, 0x1000, false, 0, nil)
 	if res != Hit || lat != h.cfg.L1.LatencyCPU {
 		t.Errorf("second access = %v/%d, want L1 hit", res, lat)
 	}
@@ -65,8 +65,8 @@ func TestMissGoesToMemoryThenHits(t *testing.T) {
 func TestMSHRMerging(t *testing.T) {
 	h, b := testHier(2)
 	n := 0
-	h.Access(0, 0x2000, false, func(int64) { n++ })
-	h.Access(1, 0x2000, false, func(int64) { n++ })
+	h.Access(0, 0x2000, false, 0, func(int64) { n++ })
+	h.Access(1, 0x2000, false, 0, func(int64) { n++ })
 	if len(b.reads) != 1 {
 		t.Fatalf("same-block misses issued %d memory reads, want 1 (merged)", len(b.reads))
 	}
@@ -78,7 +78,7 @@ func TestMSHRMerging(t *testing.T) {
 
 func TestStoreMissAllocatesAndReportsHit(t *testing.T) {
 	h, b := testHier(1)
-	res, _ := h.Access(0, 0x3000, true, nil)
+	res, _ := h.Access(0, 0x3000, true, 0, nil)
 	if res != Hit {
 		t.Fatalf("store miss = %v, want Hit (store buffer hides latency)", res)
 	}
@@ -97,17 +97,17 @@ func TestL1MSHRLimitStalls(t *testing.T) {
 	h, b := testHier(1)
 	limit := h.cfg.L1.MSHRs
 	for i := 0; i < limit; i++ {
-		res, _ := h.Access(0, uint64(0x100000+i*64), false, nil)
+		res, _ := h.Access(0, uint64(0x100000+i*64), false, 0, nil)
 		if res != Queued {
 			t.Fatalf("access %d = %v, want Queued", i, res)
 		}
 	}
-	res, _ := h.Access(0, 0x900000, false, nil)
+	res, _ := h.Access(0, 0x900000, false, 0, nil)
 	if res != Stall {
 		t.Errorf("access beyond L1 MSHR limit = %v, want Stall", res)
 	}
 	b.completeAll(10)
-	res, _ = h.Access(0, 0x900000, false, nil)
+	res, _ = h.Access(0, 0x900000, false, 0, nil)
 	if res != Queued {
 		t.Errorf("after fills, access = %v, want Queued", res)
 	}
@@ -116,7 +116,7 @@ func TestL1MSHRLimitStalls(t *testing.T) {
 func TestBackendFullStalls(t *testing.T) {
 	h, b := testHier(1)
 	b.full = true
-	res, _ := h.Access(0, 0x4000, false, nil)
+	res, _ := h.Access(0, 0x4000, false, 0, nil)
 	if res != Stall {
 		t.Errorf("access with full controller queue = %v, want Stall", res)
 	}
@@ -127,10 +127,10 @@ func TestDirtyEvictionReachesMemory(t *testing.T) {
 	llcBlocks := uint64(h.cfg.LLC.SizeBytes / h.cfg.LLC.BlockBytes)
 	// Dirty one block, then stream enough blocks through to evict it
 	// from every level.
-	h.Access(0, 0, true, nil)
+	h.Access(0, 0, true, 0, nil)
 	b.completeAll(1)
 	for i := uint64(1); i <= llcBlocks+llcBlocks/16; i++ {
-		h.Access(0, i*64, false, nil)
+		h.Access(0, i*64, false, 0, nil)
 		b.completeAll(int64(i))
 	}
 	if len(b.writes) == 0 {
@@ -145,7 +145,7 @@ func TestPrefetcherIssuesOnStride(t *testing.T) {
 	h := NewHierarchy(cfg, b, fixedClock{})
 	// Three strided misses establish confidence; further misses prefetch.
 	for i := 0; i < 6; i++ {
-		h.Access(0, uint64(i)*64*4+0x10000, false, nil)
+		h.Access(0, uint64(i)*64*4+0x10000, false, 0, nil)
 		b.completeAll(int64(i))
 	}
 	if h.Prefetches == 0 {

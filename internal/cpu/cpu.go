@@ -115,6 +115,11 @@ func NewCore(id int, cfg Config, trace TraceSource, hier *cache.Hierarchy) *Core
 	return c
 }
 
+// DoneFn returns the completion callback for one ROB slot, so restored
+// MSHR waiters (which record core and slot indices) can be rewired to
+// the same pooled closures issue uses.
+func (c *Core) DoneFn(slot int) func(int64) { return c.doneFns[slot] }
+
 // IPC returns retired instructions per CPU cycle so far.
 func (c *Core) IPC() float64 {
 	if c.Cycles == 0 {
@@ -386,7 +391,7 @@ func (c *Core) tryIssue(in Instr, now int64) bool {
 	if c.loads+c.stores >= c.cfg.LSQSize {
 		return false
 	}
-	res, lat := c.hier.Access(c.ID, in.Addr, in.Write, c.doneFns[slot])
+	res, lat := c.hier.Access(c.ID, in.Addr, in.Write, slot, c.doneFns[slot])
 	switch res {
 	case cache.Stall:
 		c.probeStall = true

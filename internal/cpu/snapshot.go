@@ -1,0 +1,60 @@
+package cpu
+
+// CoreState is an opaque deep copy of a Core's mutable state: the ROB
+// contents, LSQ occupancy, batch lookahead, blocked-state tracking, and
+// retirement counters. Completion callbacks are not serialized — they
+// are per-slot closures the constructor rebuilds, and restored MSHR
+// waiters reattach through DoneFn.
+type CoreState struct {
+	rob      []robEntry
+	head, n  int
+	stores   int
+	loads    int
+	stalled  Instr
+	hasStall bool
+
+	look   []Instr
+	lookH  int
+	lookN  int
+	pend   int
+	pendAt int64
+
+	blocked    bool
+	probeStall bool
+	wake       int64
+	dirty      bool
+
+	retired int64
+	cycles  int64
+}
+
+// Snapshot captures the core's mutable state.
+func (c *Core) Snapshot() *CoreState {
+	return &CoreState{
+		rob:  append([]robEntry(nil), c.rob...),
+		head: c.head, n: c.n, stores: c.stores, loads: c.loads,
+		stalled: c.stalled, hasStall: c.hasStall,
+		look: append([]Instr(nil), c.look...), lookH: c.lookH, lookN: c.lookN,
+		pend: c.pend, pendAt: c.pendAt,
+		blocked: c.blocked, probeStall: c.probeStall, wake: c.wake, dirty: c.dirty,
+		retired: c.Retired, cycles: c.Cycles,
+	}
+}
+
+// Restore overwrites the core's mutable state with the snapshot. The
+// core must have been built with the same Config. The ROB is copied in
+// place: the per-slot completion closures capture &c.rob[i], so the
+// backing array must not be replaced.
+func (c *Core) Restore(st *CoreState) {
+	if len(st.rob) != len(c.rob) {
+		panic("cpu: restore onto a core with different ROB size")
+	}
+	copy(c.rob, st.rob)
+	c.head, c.n, c.stores, c.loads = st.head, st.n, st.stores, st.loads
+	c.stalled, c.hasStall = st.stalled, st.hasStall
+	copy(c.look, st.look)
+	c.lookH, c.lookN = st.lookH, st.lookN
+	c.pend, c.pendAt = st.pend, st.pendAt
+	c.blocked, c.probeStall, c.wake, c.dirty = st.blocked, st.probeStall, st.wake, st.dirty
+	c.Retired, c.Cycles = st.retired, st.cycles
+}

@@ -1,0 +1,69 @@
+package dram
+
+// MemState is an opaque deep copy of a Mem's mutable state — bank/row
+// state, every timing horizon, the refresh and bus occupancy clocks,
+// command counters, and the chVer versions. It contains no pointers
+// into the live Mem, so one snapshot can seed any number of restores
+// (checkpoint forking).
+type MemState struct {
+	channels []chanState
+	cnts     []CmdCounts
+	chVer    []uint64
+}
+
+// Snapshot captures the Mem's full mutable state.
+func (m *Mem) Snapshot() *MemState {
+	st := &MemState{
+		channels: make([]chanState, len(m.channels)),
+		cnts:     append([]CmdCounts(nil), m.cnts...),
+		chVer:    append([]uint64(nil), m.chVer...),
+	}
+	for c := range m.channels {
+		copyChanState(&st.channels[c], &m.channels[c])
+	}
+	return st
+}
+
+// Restore overwrites the Mem's mutable state with the snapshot. The Mem
+// must have been built with the same Geometry as the snapshotted one
+// (callers restore onto a freshly constructed same-config system).
+func (m *Mem) Restore(st *MemState) {
+	if len(m.channels) != len(st.channels) {
+		panic("dram: restore onto a Mem with different geometry")
+	}
+	copy(m.cnts, st.cnts)
+	copy(m.chVer, st.chVer)
+	for c := range m.channels {
+		copyChanState(&m.channels[c], &st.channels[c])
+	}
+}
+
+// copyChanState deep-copies src into dst, allocating dst's nested
+// slices when they are missing (snapshot) and reusing them when they
+// match (restore).
+func copyChanState(dst, src *chanState) {
+	ranks := dst.ranks
+	*dst = *src
+	if len(ranks) != len(src.ranks) {
+		ranks = make([]rankState, len(src.ranks))
+	}
+	dst.ranks = ranks
+	for r := range src.ranks {
+		s, d := &src.ranks[r], &dst.ranks[r]
+		banks, bgs, faw := d.banks, d.bgs, d.faw
+		*d = *s
+		if len(banks) != len(s.banks) {
+			banks = make([]bankState, len(s.banks))
+		}
+		if len(bgs) != len(s.bgs) {
+			bgs = make([]bgState, len(s.bgs))
+		}
+		if len(faw) != len(s.faw) {
+			faw = make([]int64, len(s.faw))
+		}
+		d.banks, d.bgs, d.faw = banks, bgs, faw
+		copy(d.banks, s.banks)
+		copy(d.bgs, s.bgs)
+		copy(d.faw, s.faw)
+	}
+}

@@ -152,7 +152,9 @@ func AblationLaunchModel(opt Options) ([]AblationRow, error) {
 }
 
 // Ablations runs every ablation study.
-func Ablations(opt Options) ([]AblationRow, error) {
+func Ablations(opt Options) ([]AblationRow, error) { return figCached(opt, "ablate", ablationRows) }
+
+func ablationRows(opt Options) ([]AblationRow, error) {
 	var all []AblationRow
 	for _, f := range []func(Options) ([]AblationRow, error){
 		AblationLayout, AblationReservedBanks, AblationWriteBuffer, AblationLaunchModel,

@@ -5,6 +5,9 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"sync"
 
@@ -43,6 +46,25 @@ type Options struct {
 	// one machine, so the histograms are a profile of where simulated
 	// time goes, not a cycle-exact measurement.
 	ProfileDomains bool
+
+	// CacheDir, when set, enables the content-addressed figure result
+	// cache: each figure's rows are stored under a hash of the model
+	// version and the behavior-selecting options, and a later run with
+	// the same fingerprint replays the stored rows without simulating
+	// (see cache.go; figures are deterministic so the replay is exact).
+	CacheDir string
+
+	// JournalDir, when set, checkpoints sweep progress: every sharded
+	// sweep appends each completed point to a journal file as it
+	// finishes. Resume then makes an interrupted run pick up at the
+	// last completed point — journals with a stale fingerprint are
+	// discarded, and a figure that completes removes its journals.
+	JournalDir string
+	Resume     bool
+
+	// journal carries the figure's resume-journal context from
+	// figCached into its sharded sweeps.
+	journal *journalCtx
 }
 
 // newSystem builds one simulation point's system with the options'
@@ -59,6 +81,38 @@ var (
 	phaseMu    sync.Mutex
 	phaseSpans sim.PhaseSpans
 )
+
+// Warm-state pool: host-only figure points that share a configuration
+// also share their warm-up work. The first point to warm a given config
+// snapshots the system at the end of warm-up; every later point with
+// the same fingerprint restores that checkpoint instead of re-simulating
+// the warm window. Restore is bit-identical to having warmed (the sim
+// package proves it), so pooled and unpooled runs produce the same
+// tables. One checkpoint fans out to any number of forks — sim.Restore
+// never mutates it.
+var (
+	warmMu   sync.Mutex
+	warmPool = map[string]*sim.Checkpoint{}
+)
+
+// warmPoolKey fingerprints a point's warm-up: the full simulation
+// config with the two state-free knobs zeroed (SimWorkers and
+// ProfileDomains do not affect simulated state; sim.Restore accepts
+// either differing) plus the warm-cycle budget.
+func warmPoolKey(cfg sim.Config, warm int64) (string, bool) {
+	cfg.SimWorkers = 0
+	cfg.ProfileDomains = false
+	b, err := json.Marshal(struct {
+		Schema string
+		Cfg    sim.Config
+		Warm   int64
+	}{cacheSchema, cfg, warm})
+	if err != nil {
+		return "", false
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), true
+}
 
 // mergePhaseSpans folds one completed point's histograms into the
 // process-wide aggregate.
@@ -144,6 +198,34 @@ func measureConcurrent(s *sim.System, it launcher, opt Options) (Result, error) 
 		}
 	}
 	warmEnd := s.Now() + opt.WarmCycles
+	// Host-only points on the fast path share warm-up state through the
+	// pool: fork from a warmed checkpoint when one exists, seed it
+	// otherwise. NDA-driving points are excluded (their launcher holds
+	// handles bound to this system), as are profiled points (a restored
+	// warm-up records no spans) and the cycle-by-cycle cross-check path.
+	if it == nil && !opt.CycleByCycle && !opt.ProfileDomains &&
+		opt.WarmCycles > 0 && s.Now() == 0 {
+		if key, ok := warmPoolKey(s.Cfg, opt.WarmCycles); ok {
+			warmMu.Lock()
+			ck := warmPool[key]
+			warmMu.Unlock()
+			if ck != nil {
+				s.Restore(ck)
+				statWarmForks.Add(1)
+			} else {
+				for s.Now() < warmEnd {
+					step(warmEnd)
+				}
+				if ck, err := s.Snapshot(); err == nil {
+					warmMu.Lock()
+					if _, dup := warmPool[key]; !dup {
+						warmPool[key] = ck
+					}
+					warmMu.Unlock()
+				}
+			}
+		}
+	}
 	for s.Now() < warmEnd {
 		step(warmEnd)
 		if err := relaunch(); err != nil {

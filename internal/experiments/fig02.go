@@ -17,7 +17,9 @@ type Fig2Row struct {
 // for the nine host-only application mixes. It shows that most idle
 // periods are shorter than 250 cycles, motivating fine-grain
 // interleaving.
-func Fig2(opt Options) ([]Fig2Row, error) {
+func Fig2(opt Options) ([]Fig2Row, error) { return figCached(opt, "fig2", fig2Rows) }
+
+func fig2Rows(opt Options) ([]Fig2Row, error) {
 	return sharded(opt, len(workload.Mixes), func(mix int) (Fig2Row, error) {
 		s, err := opt.newSystem(sim.Default(mix))
 		if err != nil {

@@ -20,7 +20,9 @@ type Fig10Row struct {
 // systems running the memory-intensive mix1 with bank partitioning and
 // asynchronous NRM2 launches. Small N floods the channel with launch
 // packets; the effect worsens with rank count.
-func Fig10(opt Options) ([]Fig10Row, error) {
+func Fig10(opt Options) ([]Fig10Row, error) { return figCached(opt, "fig10", fig10Rows) }
+
+func fig10Rows(opt Options) ([]Fig10Row, error) {
 	ns := []int{1, 4, 16, 64, 256, 1024, 4096}
 	rankCounts := []int{2, 4, 8}
 	if opt.Quick {

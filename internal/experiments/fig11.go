@@ -20,7 +20,9 @@ type Fig11Row struct {
 // NDA operations across all mixes. Partitioning removes host-to-NDA bank
 // conflicts and chiefly helps the read-intensive case; COPY also hurts
 // host IPC through write turnarounds.
-func Fig11(opt Options) ([]Fig11Row, error) {
+func Fig11(opt Options) ([]Fig11Row, error) { return figCached(opt, "fig11", fig11Rows) }
+
+func fig11Rows(opt Options) ([]Fig11Row, error) {
 	n := len(workload.Mixes)
 	if opt.Quick {
 		n = 2

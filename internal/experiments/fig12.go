@@ -24,7 +24,9 @@ type Fig12Row struct {
 // prediction, and unthrottled issue-if-idle. Throttling trades NDA
 // bandwidth for host IPC; next-rank prediction sits near the tuned
 // stochastic point without tuning.
-func Fig12(opt Options) ([]Fig12Row, error) {
+func Fig12(opt Options) ([]Fig12Row, error) { return figCached(opt, "fig12", fig12Rows) }
+
+func fig12Rows(opt Options) ([]Fig12Row, error) {
 	type policyCfg struct {
 		label string
 		pol   nda.Policy

@@ -21,7 +21,9 @@ type Fig13Row struct {
 // at the small size, concurrent with mix1 under next-rank prediction.
 // Short ops suffer launch overhead and load imbalance; asynchronous
 // macro launches recover most of the loss.
-func Fig13(opt Options) ([]Fig13Row, error) {
+func Fig13(opt Options) ([]Fig13Row, error) { return figCached(opt, "fig13", fig13Rows) }
+
+func fig13Rows(opt Options) ([]Fig13Row, error) {
 	sizes := []struct {
 		name  string
 		bytes int

@@ -27,7 +27,9 @@ type Fig14Row struct {
 // never interact — modeled as two independent half-size systems. Chopim
 // shares all ranks and both sides exceed their RP counterparts; the gap
 // widens with rank count because short idle periods grow.
-func Fig14(opt Options) ([]Fig14Row, error) {
+func Fig14(opt Options) ([]Fig14Row, error) { return figCached(opt, "fig14", fig14Rows) }
+
+func fig14Rows(opt Options) ([]Fig14Row, error) {
 	workloads := []string{"dot", "copy", "svrg", "cg", "sc"}
 	rankCounts := []int{2, 4}
 	if opt.Quick {

@@ -101,10 +101,25 @@ type Fig15aCurve struct {
 	Points []svrg.Point
 }
 
+// fig15aResult bundles the figure's two outputs so they cache as one
+// entry.
+type fig15aResult struct {
+	Curves  []Fig15aCurve
+	Optimum float64
+}
+
 // Fig15a reproduces Figure 15a: training-loss-minus-optimum versus time
 // for host-only and accelerated SVRG at epoch lengths N, N/2, N/4, plus
 // delayed-update SVRG, with 8 NDAs (2x4).
 func Fig15a(opt Options) ([]Fig15aCurve, float64, error) {
+	r, err := figCached(opt, "fig15a", fig15aRun)
+	if err != nil {
+		return nil, 0, err
+	}
+	return r.Curves, r.Optimum, nil
+}
+
+func fig15aRun(opt Options) (fig15aResult, error) {
 	scale := DefaultSVRGScale()
 	outers := 30
 	if opt.Quick {
@@ -114,7 +129,7 @@ func Fig15a(opt Options) ([]Fig15aCurve, float64, error) {
 	ds := svrg.Synthetic(scale.N, scale.D, scale.K, 7)
 	timing, err := CalibrateTiming(scale, 4, opt)
 	if err != nil {
-		return nil, 0, err
+		return fig15aResult{}, err
 	}
 	opt15 := svrg.Optimum(ds, scale.Lambda, 11)
 
@@ -141,9 +156,9 @@ func Fig15a(opt Options) ([]Fig15aCurve, float64, error) {
 		return Fig15aCurve{Label: m.label, Points: pts}, nil
 	})
 	if err != nil {
-		return nil, 0, err
+		return fig15aResult{}, err
 	}
-	return curves, opt15, nil
+	return fig15aResult{Curves: curves, Optimum: opt15}, nil
 }
 
 // Fig15bRow is one NDA-count scaling result.
@@ -156,7 +171,9 @@ type Fig15bRow struct {
 // Fig15b reproduces Figure 15b: time-to-convergence speedup over
 // host-only for the best serialized accelerated configuration and for
 // delayed-update SVRG at 4, 8, and 16 NDAs.
-func Fig15b(opt Options) ([]Fig15bRow, error) {
+func Fig15b(opt Options) ([]Fig15bRow, error) { return figCached(opt, "fig15b", fig15bRows) }
+
+func fig15bRows(opt Options) ([]Fig15bRow, error) {
 	scale := DefaultSVRGScale()
 	outers := 40
 	ndaCounts := []int{4, 8, 16}

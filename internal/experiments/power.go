@@ -17,7 +17,9 @@ type PowerRow struct {
 // under the most intensive mixes, NDA power under the average-gradient
 // kernel, and the concurrent total — which stays below the host-only
 // theoretical maximum because NDA accesses use low-energy internal paths.
-func Power(opt Options) ([]PowerRow, error) {
+func Power(opt Options) ([]PowerRow, error) { return figCached(opt, "power", powerRows) }
+
+func powerRows(opt Options) ([]PowerRow, error) {
 	scenarios := []struct {
 		name    string
 		mix     int

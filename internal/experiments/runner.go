@@ -10,6 +10,7 @@ package experiments
 
 import (
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,13 +39,22 @@ type RunnerStats struct {
 	Errors    int64         // points that returned an error
 	BusyTime  time.Duration // summed per-point wall time across workers
 	MaxShards int64         // largest worker pool used
+
+	CacheHits   int64 // figures replayed from the result cache
+	CacheMisses int64 // figures simulated and stored (CacheDir set)
+	Resumed     int64 // points replayed from resume journals
+	WarmForks   int64 // points forked from a pooled warm checkpoint
 }
 
 var (
-	statJobs  atomic.Int64
-	statErrs  atomic.Int64
-	statBusy  atomic.Int64
-	statShard atomic.Int64
+	statJobs        atomic.Int64
+	statErrs        atomic.Int64
+	statBusy        atomic.Int64
+	statShard       atomic.Int64
+	statCacheHits   atomic.Int64
+	statCacheMisses atomic.Int64
+	statResumed     atomic.Int64
+	statWarmForks   atomic.Int64
 )
 
 // ReadRunnerStats returns the aggregated runner statistics.
@@ -54,6 +64,11 @@ func ReadRunnerStats() RunnerStats {
 		Errors:    statErrs.Load(),
 		BusyTime:  time.Duration(statBusy.Load()),
 		MaxShards: statShard.Load(),
+
+		CacheHits:   statCacheHits.Load(),
+		CacheMisses: statCacheMisses.Load(),
+		Resumed:     statResumed.Load(),
+		WarmForks:   statWarmForks.Load(),
 	}
 }
 
@@ -67,10 +82,26 @@ func sharded[T any](opt Options, n int, job func(i int) (T, error)) ([]T, error)
 		statShard.CompareAndSwap(prev, int64(workers))
 	}
 	results := make([]T, n)
+	// Resume journal (Options.JournalDir): replay points a previous run
+	// completed, log each point this run completes. Replayed points skip
+	// simulation entirely; a figure's points are independent, so the
+	// remaining ones compute exactly what they would have.
+	jf := opt.journal.open(n)
+	done := journalLoad(jf, results)
+	runOne := func(i int) error {
+		if done != nil && done[i] {
+			return nil
+		}
+		var err error
+		if results[i], err = timedJob(i, job); err != nil {
+			return err
+		}
+		journalRecord(jf, i, results[i])
+		return nil
+	}
 	if workers == 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			var err error
-			if results[i], err = timedJob(i, job); err != nil {
+			if err := runOne(i); err != nil {
 				return nil, err
 			}
 		}
@@ -89,7 +120,7 @@ func sharded[T any](opt Options, n int, job func(i int) (T, error)) ([]T, error)
 		wg.Add(1)
 		go func(i int) {
 			defer func() { <-sem; wg.Done() }()
-			results[i], errs[i] = timedJob(i, job)
+			errs[i] = runOne(i)
 			if errs[i] != nil {
 				failed.Store(true)
 			}
@@ -128,6 +159,11 @@ type NDAOnlyRow struct {
 // skips the most cycles, and the points are fully independent, so the
 // sweep exercises both layers of the speed subsystem at once.
 func NDAOnlySweep(opt Options, ops []string) ([]NDAOnlyRow, error) {
+	return figCached(opt, "ndaonly-"+strings.Join(ops, "+"),
+		func(opt Options) ([]NDAOnlyRow, error) { return ndaOnlyRows(opt, ops) })
+}
+
+func ndaOnlyRows(opt Options, ops []string) ([]NDAOnlyRow, error) {
 	perRank := 1 << 20
 	if opt.Quick {
 		perRank = 256 << 10

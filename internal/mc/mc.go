@@ -33,6 +33,10 @@ type Request struct {
 	Write  bool
 	Arrive int64
 	Done   func(dramDone int64) // nil for writes and prefetches
+	// Tag carries a caller-assigned identity for requests whose Done
+	// closure must be rebuilt after a checkpoint restore (NDA launch
+	// packets; see EnqueueControlTagged). Zero for everything else.
+	Tag uint64
 
 	// bankKey is the request's (channel, rank, flat-bank) bucket index —
 	// (Channel*Ranks+Rank)*BanksPerRank + DAddr.GlobalBank — decoded
@@ -125,12 +129,25 @@ type Controller struct {
 	// ver counts externally visible controller mutations: enqueues,
 	// dequeues/issues (column and row commands, refresh), and overflow
 	// refills. Anything caching conclusions drawn from controller state
-	// — the system's per-controller wake cache, the NDA engine's
-	// per-rank sleep bounds (which read queue occupancy, bank demand,
-	// and the oldest-read rank) — revalidates when it changes. Pure
-	// bookkeeping invisible from outside (drain hysteresis flips) does
-	// not bump it.
+	// — the system's per-controller wake cache — revalidates when it
+	// changes. Pure bookkeeping invisible from outside (drain hysteresis
+	// flips) does not bump it.
 	ver uint64
+
+	// qver counts only the mutations that move the controller's QUEUE
+	// state: enqueues, overflow refills, and column issues (dequeues).
+	// It deliberately excludes row/refresh commands (markRowCmd), which
+	// bump ver but leave every queue-derived input unchanged. The NDA
+	// engine's per-rank sleep bounds revalidate on qver instead of ver:
+	// the impure NDA branches read OldestReadRank (the rq head) and
+	// HasDemandFor/HasAnyDemandFor (bucket occupancy), and NDA timing
+	// checks are rank-local (nda=true NextIssue, no channel bus) — so a
+	// host ACT/PRE elsewhere cannot change the taken branch, and a
+	// row/REF command to the NDA's own rank already forces a tick
+	// through the dispatcher's RankBusy rule. This is the same
+	// staleness split the calendar applies to bank entries (rkStamp vs
+	// bucket dirtiness), applied to the engine's controller inputs.
+	qver uint64
 
 	// seen/seenGen implement the reference scheduler's per-Tick
 	// visited-bank set without per-cycle allocation.
@@ -197,6 +214,9 @@ func (c *Controller) Channel() int { return c.channel }
 // Ver returns the externally-visible-mutation counter (see ver).
 func (c *Controller) Ver() uint64 { return c.ver }
 
+// QVer returns the queue-mutation counter (see qver).
+func (c *Controller) QVer() uint64 { return c.qver }
+
 // ClearIssued resets the per-cycle issued-command scratch without
 // running a Tick. The wake-driven system scheduler calls it on cycles
 // where the controller is provably idle, so the NDA coordination hooks
@@ -247,6 +267,7 @@ func (c *Controller) EnqueueReadDecoded(addr uint64, daddr dram.Addr, now int64,
 	c.seqGen++
 	c.rq.push(r)
 	c.ver++
+	c.qver++
 	return true
 }
 
@@ -266,12 +287,22 @@ func (c *Controller) EnqueueWriteDecoded(addr uint64, daddr dram.Addr, now int64
 // rank's control registers that occupies the command/data channel like
 // any host write (Section V). done fires when the write issues.
 func (c *Controller) EnqueueControl(daddr dram.Addr, now int64, done func(int64)) {
-	c.pushWrite(c.alloc(0, daddr, true, now, done))
+	c.EnqueueControlTagged(daddr, now, 0, done)
+}
+
+// EnqueueControlTagged is EnqueueControl with a caller-assigned identity
+// tag, so checkpoint restore can rebuild the done closure (launch
+// acknowledgements) for in-flight packets.
+func (c *Controller) EnqueueControlTagged(daddr dram.Addr, now int64, tag uint64, done func(int64)) {
+	r := c.alloc(0, daddr, true, now, done)
+	r.Tag = tag
+	c.pushWrite(r)
 }
 
 // pushWrite routes a write into the write queue or the overflow buffer.
 func (c *Controller) pushWrite(r *Request) {
 	c.ver++
+	c.qver++
 	if c.wq.n >= c.cfg.WriteQueue {
 		c.overflow.Push(r)
 		return
@@ -528,6 +559,7 @@ func (c *Controller) Tick(now int64) {
 		c.seqGen++
 		c.wq.push(r)
 		c.ver++
+		c.qver++
 	}
 
 	// Write-drain mode hysteresis.
@@ -725,6 +757,7 @@ func (c *Controller) rowWantedRef(a dram.Addr, openRow int) bool {
 func (c *Controller) issueColumn(cmd dram.Command, r *Request, q *reqQueue, now int64, write bool) {
 	c.mem.Issue(cmd, r.DAddr, now, false)
 	c.ver++
+	c.qver++
 	c.issuedRank = r.DAddr.Rank
 	c.issuedIsCol = true
 	q.remove(r)

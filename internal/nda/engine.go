@@ -84,6 +84,8 @@ type rankFSM struct {
 	draining bool
 	readsRun int // reads completed toward the current batch
 	rng      *rand.Rand
+	rngSrc   *countedSource // rng's source, counted for snapshot replay
+	rngSeed  int64
 
 	stats RankStats
 }
@@ -173,12 +175,14 @@ func NewEngine(cfg Config, mem *dram.Mem, hosts []*mc.Controller) *Engine {
 		var row []*RankNDA
 		for r := 0; r < mem.Geom.Ranks; r++ {
 			seed := cfg.Seed + int64(ch*64+r)
+			src := newCountedSource(seed)
 			n := &RankNDA{
 				Channel: ch, Rank: r, cfg: cfg, mem: mem, host: hosts[ch],
-				fsm: rankFSM{rng: rand.New(rand.NewSource(seed))},
+				fsm: rankFSM{rng: rand.New(src), rngSrc: src, rngSeed: seed},
 			}
 			if cfg.VerifyFSM {
-				n.replica = &rankFSM{rng: rand.New(rand.NewSource(seed))}
+				rsrc := newCountedSource(seed)
+				n.replica = &rankFSM{rng: rand.New(rsrc), rngSrc: rsrc, rngSeed: seed}
 			}
 			row = append(row, n)
 		}
@@ -235,7 +239,12 @@ func (e *Engine) Tick(now int64) {
 func (e *Engine) TickChannel(ch int, now int64) {
 	host := e.hosts[ch]
 	hostRank := host.HostIssuedRank()
-	hv := host.Ver()
+	// Impure bounds revalidate against the queue-mutation counter, not
+	// the full version: the host reads on the evaluation path
+	// (OldestReadRank, HasDemandFor) observe queue contents only, and
+	// host row commands — which bump Ver but not QVer — reach this rank
+	// through the issued-rank forced step instead.
+	hv := host.QVer()
 	for _, n := range e.Ranks[ch] {
 		n.tick(now, hostRank, hv, e.fastForward)
 	}
@@ -294,7 +303,7 @@ func (e *Engine) NextEvent(now int64) int64 {
 // safe to call from the channel's domain worker.
 func (e *Engine) ChannelNextEvent(ch int, now int64) int64 {
 	next := dram.Never
-	hv := e.hosts[ch].Ver()
+	hv := e.hosts[ch].QVer() // queue-only counter; see TickChannel
 	for _, n := range e.Ranks[ch] {
 		if len(n.fsm.ops) == 0 && n.fsm.wb.Len() == 0 {
 			continue
@@ -547,6 +556,7 @@ func (n *RankNDA) emitWrites(f *rankFSM, op *Op, k int) {
 		if !ok {
 			break
 		}
+		op.emitted++
 		f.wb.Push(wbEntry{addr: a, owner: op})
 		op.pendingWr++
 	}
@@ -563,6 +573,7 @@ func (n *RankNDA) maybeComplete(f *rankFSM, op *Op, now int64) {
 	if op.Writes != nil {
 		// The write iterator must be fully drained too.
 		if a, ok := op.Writes(); ok {
+			op.emitted++
 			f.wb.Push(wbEntry{addr: a, owner: op})
 			op.pendingWr++
 			return

@@ -128,10 +128,17 @@ type Op struct {
 	// true yield count; zero disables peeking (conservative).
 	TotalReads int
 
+	// Tag carries the launcher's blueprint for this op (the ndart
+	// runtime attaches its build recipe). Checkpointing replays it: the
+	// iterators are pure deterministic streams, so (Tag, fetched,
+	// emitted) reconstructs the op's exact internal state on restore.
+	Tag any
+
 	// progress
 	operand   int // which read iterator is active
 	inOperand int // blocks consumed from the active iterator this batch
 	fetched   int // addresses pulled from the read iterators so far
+	emitted   int // addresses pulled from the write iterator so far
 	exhausted bool
 	pendingWr int // writes of this op still in the write buffer
 	pushed    dram.Addr

@@ -94,6 +94,42 @@ type Runtime struct {
 	copier   copyPump
 	Launches int64
 	Copies   int64
+
+	// decodeCache memoizes indexBlocks results per (base, bytes) span.
+	// The decode depends only on the span and the runtime's fixed address
+	// mapping, so views over the same blocks (Matrix.RowView on every
+	// relaunch) share one immutable layout instead of re-decoding.
+	decodeCache map[layoutKey]*vecLayout
+
+	// pendingLaunches tracks control-register writes still in flight in
+	// the host controllers, keyed by the request tag; completion launches
+	// the recorded blueprints. The registry is what makes launch packets
+	// checkpointable: a tag round-trips through a snapshot, a closure
+	// does not.
+	pendingLaunches map[uint64]*launchRec
+	launchID        uint64
+
+	// handleMap, populated by Restore, maps pre-snapshot handles to
+	// their rebuilt counterparts (see RestoredHandle).
+	handleMap map[*Handle]*Handle
+}
+
+// layoutKey identifies one decoded span.
+type layoutKey struct {
+	base  uint64
+	bytes uint64
+}
+
+// vecLayout is an immutable decoded layout shared between vectors.
+type vecLayout struct {
+	rankBlocks [][][]int32
+	addrs      []dram.Addr
+}
+
+// launchRec is one in-flight launch packet's payload.
+type launchRec struct {
+	ch, r int
+	bps   []*opBP
 }
 
 // New builds a runtime over the OS, NDA engine, and host controllers.
@@ -101,6 +137,8 @@ func New(os *osmem.OS, eng *nda.Engine, mcs []*mc.Controller, now func() int64) 
 	return &Runtime{
 		os: os, mapper: os.Mapper(), geom: os.Mapper().Geometry(),
 		eng: eng, mcs: mcs, now: now, ModelLaunches: true,
+		decodeCache:     make(map[layoutKey]*vecLayout),
+		pendingLaunches: make(map[uint64]*launchRec),
 	}
 }
 
@@ -221,6 +259,11 @@ func (v *Vector) Color() osmem.Color { return v.color }
 // Section III-A: with color-aligned operands every rank's share covers
 // the same element positions across operands.
 func (v *Vector) indexBlocks() {
+	key := layoutKey{base: v.base, bytes: v.bytes}
+	if l, ok := v.rt.decodeCache[key]; ok {
+		v.rankBlocks, v.addrs = l.rankBlocks, l.addrs
+		return
+	}
 	g := v.rt.geom
 	v.rankBlocks = make([][][]int32, g.Channels)
 	for ch := range v.rankBlocks {
@@ -233,6 +276,7 @@ func (v *Vector) indexBlocks() {
 		v.addrs[b] = a
 		v.rankBlocks[a.Channel][a.Rank] = append(v.rankBlocks[a.Channel][a.Rank], b)
 	}
+	v.rt.decodeCache[key] = &vecLayout{rankBlocks: v.rankBlocks, addrs: v.addrs}
 }
 
 // shareBlocks returns rank (ch,r)'s share, as vector block indices.

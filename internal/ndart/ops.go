@@ -167,11 +167,10 @@ func (rt *Runtime) Launch(spec Spec) (*Handle, error) {
 // per-launch load imbalance.
 func (rt *Runtime) MacroFor(count int, build func(i int) Spec) (*Handle, error) {
 	h := &Handle{}
-	type rankWork struct{ factories []func() *nda.Op }
 	g := rt.geom
-	work := make([][]rankWork, g.Channels)
+	work := make([][][]*opBP, g.Channels)
 	for ch := range work {
-		work[ch] = make([]rankWork, g.Ranks)
+		work[ch] = make([][]*opBP, g.Ranks)
 	}
 	var ctrl dram.Addr
 	ctrlOK := false
@@ -185,9 +184,7 @@ func (rt *Runtime) MacroFor(count int, build func(i int) Spec) (*Handle, error) 
 		}
 		for ch := 0; ch < g.Channels; ch++ {
 			for r := 0; r < g.Ranks; r++ {
-				for _, f := range rt.rankOpFactories(spec, ch, r, h) {
-					work[ch][r].factories = append(work[ch][r].factories, f)
-				}
+				work[ch][r] = append(work[ch][r], rt.rankOpBPs(spec, ch, r, h)...)
 			}
 		}
 		if !ctrlOK {
@@ -198,15 +195,10 @@ func (rt *Runtime) MacroFor(count int, build func(i int) Spec) (*Handle, error) 
 	}
 	for ch := 0; ch < g.Channels; ch++ {
 		for r := 0; r < g.Ranks; r++ {
-			fs := work[ch][r].factories
-			if len(fs) == 0 {
+			if len(work[ch][r]) == 0 {
 				continue
 			}
-			rt.sendLaunch(ch, r, ctrl, func() {
-				for _, f := range fs {
-					rt.eng.Launch(ch, r, f)
-				}
-			})
+			rt.sendLaunch(ch, r, ctrl, work[ch][r])
 		}
 	}
 	return h, nil
@@ -267,24 +259,65 @@ func (rt *Runtime) launchAligned(spec Spec, h *Handle) {
 	g := rt.geom
 	for ch := 0; ch < g.Channels; ch++ {
 		for r := 0; r < g.Ranks; r++ {
-			factories := rt.rankOpFactories(spec, ch, r, h)
+			bps := rt.rankOpBPs(spec, ch, r, h)
 			ctrl, ok := spec.Reads[0].controlAddr(ch, r)
-			for _, f := range factories {
-				f := f
+			for _, bp := range bps {
 				if !ok {
-					rt.eng.Launch(ch, r, f)
+					rt.launchBP(bp)
 					continue
 				}
-				rt.sendLaunch(ch, r, ctrl, func() { rt.eng.Launch(ch, r, f) })
+				rt.sendLaunch(ch, r, ctrl, []*opBP{bp})
 			}
 		}
 	}
 }
 
-// rankOpFactories splits the rank's share into MaxBlocksPerInstr chunks,
-// returning one op factory per NDA instruction. The factories increment
-// h.pending immediately.
-func (rt *Runtime) rankOpFactories(spec Spec, ch, r int, h *Handle) []func() *nda.Op {
+// opBP is the blueprint of one primitive NDA instruction: everything
+// needed to (re)build its op. Ops carry their blueprint as nda.Op.Tag,
+// which is what makes in-flight ops checkpointable — a blueprint plus
+// the op's progress counters reconstructs the op exactly, because the
+// operand iterators are pure functions of the blueprint.
+type opBP struct {
+	kind    nda.OpKind
+	reads   []*Vector
+	write   *Vector // nil for reductions
+	ch, r   int
+	from, n int
+	total   int // exact read count across operands (for PeekRead)
+	h       *Handle
+}
+
+// buildOp constructs a fresh op from its blueprint (fresh iterators,
+// completion wiring included). Every op the engine sees is built here,
+// whether launched live or replayed from a checkpoint.
+func (rt *Runtime) buildOp(bp *opBP) *nda.Op {
+	var reads []nda.Iter
+	for _, v := range bp.reads {
+		reads = append(reads, v.iterFor(bp.ch, bp.r, bp.from, bp.n))
+	}
+	var writes nda.Iter
+	if bp.write != nil {
+		writes = bp.write.iterFor(bp.ch, bp.r, bp.from, bp.n)
+	}
+	h := bp.h
+	op := nda.NewOp(bp.kind, reads, writes, func(cycle int64) { h.complete(cycle) })
+	op.TotalReads = bp.total
+	op.Tag = bp
+	if rt.GuardOps {
+		op.Guard = rt.buildGuard(bp)
+	}
+	return op
+}
+
+// launchBP hands one blueprint to the engine.
+func (rt *Runtime) launchBP(bp *opBP) {
+	rt.eng.Launch(bp.ch, bp.r, func() *nda.Op { return rt.buildOp(bp) })
+}
+
+// rankOpBPs splits the rank's share into MaxBlocksPerInstr chunks,
+// returning one blueprint per NDA instruction. The handle's pending
+// count is incremented here, at API-call time.
+func (rt *Runtime) rankOpBPs(spec Spec, ch, r int, h *Handle) []*opBP {
 	share := len(spec.Reads[0].shareBlocks(ch, r))
 	if share == 0 {
 		return nil
@@ -293,9 +326,8 @@ func (rt *Runtime) rankOpFactories(spec Spec, ch, r int, h *Handle) []func() *nd
 	if chunk <= 0 {
 		chunk = share
 	}
-	var out []func() *nda.Op
+	var out []*opBP
 	for from := 0; from < share; from += chunk {
-		from := from
 		n := chunk
 		if from+n > share {
 			n = share - from
@@ -314,21 +346,9 @@ func (rt *Runtime) rankOpFactories(spec Spec, ch, r int, h *Handle) []func() *nd
 				total += c
 			}
 		}
-		out = append(out, func() *nda.Op {
-			var reads []nda.Iter
-			for _, v := range spec.Reads {
-				reads = append(reads, v.iterFor(ch, r, from, n))
-			}
-			var writes nda.Iter
-			if spec.Write != nil {
-				writes = spec.Write.iterFor(ch, r, from, n)
-			}
-			op := nda.NewOp(spec.Kind, reads, writes, func(cycle int64) { h.complete(cycle) })
-			op.TotalReads = total
-			if rt.GuardOps {
-				op.Guard = rt.buildGuard(spec, ch, r, from, n)
-			}
-			return op
+		out = append(out, &opBP{
+			kind: spec.Kind, reads: append([]*Vector(nil), spec.Reads...),
+			write: spec.Write, ch: ch, r: r, from: from, n: n, total: total, h: h,
 		})
 	}
 	return out
@@ -338,8 +358,8 @@ func (rt *Runtime) rankOpFactories(spec Spec, ch, r int, h *Handle) []func() *nd
 // set of DRAM blocks the launch packet's operand descriptors cover. In
 // hardware this is a base/bound comparison per operand; the simulator
 // enumerates the chunk's blocks exactly.
-func (rt *Runtime) buildGuard(spec Spec, ch, r, from, n int) func(dram.Addr) bool {
-	allowed := make(map[uint64]bool, n*(len(spec.Reads)+1))
+func (rt *Runtime) buildGuard(bp *opBP) func(dram.Addr) bool {
+	allowed := make(map[uint64]bool, bp.n*(len(bp.reads)+1))
 	pack := func(a dram.Addr) uint64 {
 		g := rt.geom
 		k := uint64(a.BankGroup)
@@ -349,7 +369,7 @@ func (rt *Runtime) buildGuard(spec Spec, ch, r, from, n int) func(dram.Addr) boo
 		return k
 	}
 	add := func(v *Vector) {
-		it := v.iterFor(ch, r, from, n)
+		it := v.iterFor(bp.ch, bp.r, bp.from, bp.n)
 		for {
 			a, ok := it()
 			if !ok {
@@ -358,25 +378,52 @@ func (rt *Runtime) buildGuard(spec Spec, ch, r, from, n int) func(dram.Addr) boo
 			allowed[pack(a)] = true
 		}
 	}
-	for _, v := range spec.Reads {
+	for _, v := range bp.reads {
 		add(v)
 	}
-	if spec.Write != nil {
-		add(spec.Write)
+	if bp.write != nil {
+		add(bp.write)
 	}
 	return func(a dram.Addr) bool { return allowed[pack(a)] }
 }
 
-// sendLaunch models the control-register write for one NDA instruction.
-func (rt *Runtime) sendLaunch(ch, r int, ctrl dram.Addr, onIssued func()) {
+// sendLaunch models the control-register write carrying the given
+// instructions to rank (ch, r). The payload is parked in the launch
+// registry under a fresh tag; the write's completion launches it. The
+// tag (not the closure) is what a checkpoint captures.
+func (rt *Runtime) sendLaunch(ch, r int, ctrl dram.Addr, bps []*opBP) {
 	rt.Launches++
 	if !rt.ModelLaunches {
-		onIssued()
+		for _, bp := range bps {
+			rt.launchBP(bp)
+		}
 		return
 	}
 	ctrl.Channel = ch
 	ctrl.Rank = r
-	rt.mcs[ch].EnqueueControl(ctrl, rt.now(), func(int64) { onIssued() })
+	rt.launchID++
+	id := rt.launchID
+	rt.pendingLaunches[id] = &launchRec{ch: ch, r: r, bps: bps}
+	rt.mcs[ch].EnqueueControlTagged(ctrl, rt.now(), id, rt.LaunchDone(id))
+}
+
+// finishLaunch delivers a completed launch packet's instructions.
+func (rt *Runtime) finishLaunch(id uint64) {
+	rec := rt.pendingLaunches[id]
+	if rec == nil {
+		panic(fmt.Sprintf("ndart: launch packet %d completed twice or never sent", id))
+	}
+	delete(rt.pendingLaunches, id)
+	for _, bp := range rec.bps {
+		rt.launchBP(bp)
+	}
+}
+
+// LaunchDone returns the completion callback for the control write
+// tagged id. Controller-queue restore uses it to reattach restored
+// launch packets to the registry.
+func (rt *Runtime) LaunchDone(id uint64) func(int64) {
+	return func(int64) { rt.finishLaunch(id) }
 }
 
 // copyGroup joins several copy jobs before a deferred launch.

@@ -1,0 +1,266 @@
+package ndart
+
+import (
+	"errors"
+	"sort"
+
+	"chopim/internal/nda"
+	"chopim/internal/osmem"
+)
+
+// SnapEncoder collects the transitive closure of runtime objects an
+// in-flight checkpoint references — vectors, handles, and op blueprints
+// — deduplicated by pointer into stable table indices. The NDA engine's
+// snapshot walk feeds it through EncodeTag; Snapshot then adds the
+// pending launch packets and serializes the tables.
+type SnapEncoder struct {
+	vecIdx map[*Vector]int
+	vecs   []*Vector
+	hIdx   map[*Handle]int
+	hs     []*Handle
+	bpIdx  map[*opBP]int
+	bps    []*opBP
+}
+
+// NewSnapshotEncoder starts a snapshot of this runtime's object graph.
+func (rt *Runtime) NewSnapshotEncoder() *SnapEncoder {
+	return &SnapEncoder{
+		vecIdx: make(map[*Vector]int),
+		hIdx:   make(map[*Handle]int),
+		bpIdx:  make(map[*opBP]int),
+	}
+}
+
+// EncodeTag is the nda engine's tag encoder: it registers an op's
+// blueprint (and transitively its vectors and handle) and returns the
+// blueprint's table index.
+func (e *SnapEncoder) EncodeTag(tag any) any { return e.bp(tag.(*opBP)) }
+
+func (e *SnapEncoder) bp(bp *opBP) int {
+	if i, ok := e.bpIdx[bp]; ok {
+		return i
+	}
+	for _, v := range bp.reads {
+		e.vec(v)
+	}
+	e.vec(bp.write)
+	e.handle(bp.h)
+	i := len(e.bps)
+	e.bpIdx[bp] = i
+	e.bps = append(e.bps, bp)
+	return i
+}
+
+func (e *SnapEncoder) vec(v *Vector) int {
+	if v == nil {
+		return -1
+	}
+	if i, ok := e.vecIdx[v]; ok {
+		return i
+	}
+	i := len(e.vecs)
+	e.vecIdx[v] = i
+	e.vecs = append(e.vecs, v)
+	return i
+}
+
+func (e *SnapEncoder) handle(h *Handle) int {
+	if i, ok := e.hIdx[h]; ok {
+		return i
+	}
+	i := len(e.hs)
+	e.hIdx[h] = i
+	e.hs = append(e.hs, h)
+	for _, c := range h.children {
+		e.handle(c)
+	}
+	return i
+}
+
+// vecState rebuilds a vector from scratch: the layout is a pure
+// function of (base, bytes) under the runtime's fixed address mapping.
+type vecState struct {
+	base      uint64
+	n         int
+	bytes     uint64
+	placement Placement
+	color     osmem.Color
+}
+
+type handleState struct {
+	pending  int
+	doneAt   int64
+	children []int
+}
+
+type bpState struct {
+	kind    nda.OpKind
+	reads   []int
+	write   int // -1 when none
+	ch, r   int
+	from, n int
+	total   int
+	h       int
+}
+
+// launchState is one in-flight control-register write's payload; id
+// matches the tagged request sitting in a controller queue.
+type launchState struct {
+	id    uint64
+	ch, r int
+	bps   []int
+}
+
+// RuntimeState is an opaque deep copy of the runtime's snapshot-visible
+// state. Vectors, handles, and blueprints are serialized as index
+// tables; live ops and queued launch packets reference into them.
+type RuntimeState struct {
+	vecs       []vecState
+	handles    []handleState
+	oldHandles []*Handle // encoder order; keys for RestoredHandle
+	bps        []bpState
+	launches   []launchState
+	launchID   uint64
+	color      osmem.Color
+	colorSet   bool
+	copies     int64
+	nLaunches  int64
+}
+
+// Snapshot finalizes the encoder (whose EncodeTag the engine snapshot
+// already ran) into a serialized runtime state. It fails while
+// host-mediated copies are in flight: copy jobs hold completion
+// closures with no replayable description, and they are short-lived —
+// callers snapshot at a quiescent point instead.
+func (rt *Runtime) Snapshot(enc *SnapEncoder) (*RuntimeState, error) {
+	if rt.copier.Busy() {
+		return nil, errors.New("ndart: snapshot with host-mediated copies in flight")
+	}
+	st := &RuntimeState{
+		launchID: rt.launchID, color: rt.color, colorSet: rt.colorSet,
+		copies: rt.Copies, nLaunches: rt.Launches,
+	}
+	ids := make([]uint64, 0, len(rt.pendingLaunches))
+	for id := range rt.pendingLaunches {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rec := rt.pendingLaunches[id]
+		ls := launchState{id: id, ch: rec.ch, r: rec.r}
+		for _, bp := range rec.bps {
+			ls.bps = append(ls.bps, enc.bp(bp))
+		}
+		st.launches = append(st.launches, ls)
+	}
+	for _, v := range enc.vecs {
+		st.vecs = append(st.vecs, vecState{
+			base: v.base, n: v.n, bytes: v.bytes,
+			placement: v.placement, color: v.color,
+		})
+	}
+	for _, h := range enc.hs {
+		hs := handleState{pending: h.pending, doneAt: h.doneAt}
+		for _, c := range h.children {
+			hs.children = append(hs.children, enc.hIdx[c])
+		}
+		st.handles = append(st.handles, hs)
+	}
+	st.oldHandles = append([]*Handle(nil), enc.hs...)
+	for _, bp := range enc.bps {
+		bs := bpState{
+			kind: bp.kind, write: -1, ch: bp.ch, r: bp.r,
+			from: bp.from, n: bp.n, total: bp.total, h: enc.hIdx[bp.h],
+		}
+		for _, v := range bp.reads {
+			bs.reads = append(bs.reads, enc.vecIdx[v])
+		}
+		if bp.write != nil {
+			bs.write = enc.vecIdx[bp.write]
+		}
+		st.bps = append(st.bps, bs)
+	}
+	return st, nil
+}
+
+// Restore overwrites the runtime's snapshot-visible state and returns
+// the op decoder for the NDA engine's Restore. The runtime must be
+// freshly built over an OS whose allocator state was restored first
+// (the vectors' memory must already be allocated there).
+func (rt *Runtime) Restore(st *RuntimeState) func(tag any) *nda.Op {
+	vecs := make([]*Vector, len(st.vecs))
+	for i, vs := range st.vecs {
+		v := &Vector{
+			rt: rt, base: vs.base, n: vs.n, bytes: vs.bytes,
+			placement: vs.placement, color: vs.color,
+		}
+		v.indexBlocks()
+		vecs[i] = v
+	}
+	hs := make([]*Handle, len(st.handles))
+	for i := range st.handles {
+		hs[i] = &Handle{}
+	}
+	rt.handleMap = make(map[*Handle]*Handle, len(hs))
+	for i := range st.handles {
+		s := &st.handles[i]
+		hs[i].pending, hs[i].doneAt = s.pending, s.doneAt
+		for _, c := range s.children {
+			hs[i].children = append(hs[i].children, hs[c])
+		}
+		rt.handleMap[st.oldHandles[i]] = hs[i]
+	}
+	bps := make([]*opBP, len(st.bps))
+	for i := range st.bps {
+		bs := &st.bps[i]
+		bp := &opBP{
+			kind: bs.kind, ch: bs.ch, r: bs.r,
+			from: bs.from, n: bs.n, total: bs.total, h: hs[bs.h],
+		}
+		for _, vi := range bs.reads {
+			bp.reads = append(bp.reads, vecs[vi])
+		}
+		if bs.write >= 0 {
+			bp.write = vecs[bs.write]
+		}
+		bps[i] = bp
+	}
+	rt.pendingLaunches = make(map[uint64]*launchRec, len(st.launches))
+	for _, ls := range st.launches {
+		rec := &launchRec{ch: ls.ch, r: ls.r}
+		for _, bi := range ls.bps {
+			rec.bps = append(rec.bps, bps[bi])
+		}
+		rt.pendingLaunches[ls.id] = rec
+	}
+	rt.launchID = st.launchID
+	rt.color, rt.colorSet = st.color, st.colorSet
+	rt.Copies, rt.Launches = st.copies, st.nLaunches
+	return func(tag any) *nda.Op { return rt.buildOp(bps[tag.(int)]) }
+}
+
+// RestoredHandle maps a handle obtained before a snapshot to its
+// counterpart in this restored runtime. A handle that had no in-flight
+// work at snapshot time has no counterpart and maps to itself (it was
+// complete and stays so). Join handles map structurally through their
+// children.
+func (rt *Runtime) RestoredHandle(h *Handle) *Handle {
+	if nh, ok := rt.handleMap[h]; ok {
+		return nh
+	}
+	if len(h.children) == 0 {
+		return h
+	}
+	mapped := make([]*Handle, len(h.children))
+	changed := false
+	for i, c := range h.children {
+		mapped[i] = rt.RestoredHandle(c)
+		if mapped[i] != c {
+			changed = true
+		}
+	}
+	if !changed {
+		return h
+	}
+	return &Handle{pending: h.pending, doneAt: h.doneAt, children: mapped}
+}

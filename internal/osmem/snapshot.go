@@ -1,0 +1,55 @@
+package osmem
+
+// allocState is a deep copy of one Allocator's free lists and
+// allocation table. Free-list slice order is preserved exactly: Alloc
+// pops the last element, so the order is part of the allocator's
+// deterministic behavior and a restored allocator must replay the same
+// address choices as the snapshotted one.
+type allocState struct {
+	free      map[uint][]uint64
+	allocated map[uint64]uint
+}
+
+func (a *Allocator) snapshot() allocState {
+	st := allocState{
+		free:      make(map[uint][]uint64, len(a.free)),
+		allocated: make(map[uint64]uint, len(a.allocated)),
+	}
+	for o, blocks := range a.free {
+		st.free[o] = append([]uint64(nil), blocks...)
+	}
+	for b, o := range a.allocated {
+		st.allocated[b] = o
+	}
+	return st
+}
+
+func (a *Allocator) restore(st allocState) {
+	a.free = make(map[uint][]uint64, len(st.free))
+	for o, blocks := range st.free {
+		a.free[o] = append([]uint64(nil), blocks...)
+	}
+	a.allocated = make(map[uint64]uint, len(st.allocated))
+	for b, o := range st.allocated {
+		a.allocated[b] = o
+	}
+}
+
+// OSState is an opaque deep copy of the OS allocators' mutable state.
+type OSState struct {
+	host   allocState
+	shared allocState
+}
+
+// Snapshot captures both allocators. The snapshot shares nothing with
+// the live OS, so one snapshot can seed any number of restores.
+func (o *OS) Snapshot() *OSState {
+	return &OSState{host: o.host.snapshot(), shared: o.shared.snapshot()}
+}
+
+// Restore overwrites the allocators' state with the snapshot. The OS
+// must have been built over the same mapper/geometry.
+func (o *OS) Restore(st *OSState) {
+	o.host.restore(st.host)
+	o.shared.restore(st.shared)
+}

@@ -45,6 +45,16 @@ func (r *Ring[T]) Front() T {
 	return r.buf[r.head]
 }
 
+// At returns the i-th queued element (0 = oldest) without removing it;
+// it panics when i is out of range. Snapshot code walks the ring with
+// it in FIFO order.
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.n {
+		panic("ring: At index out of range")
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
 // Pop removes and returns the oldest element, zeroing its slot so the
 // ring never retains references past dequeue.
 func (r *Ring[T]) Pop() T {

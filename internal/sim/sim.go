@@ -172,6 +172,11 @@ type System struct {
 	NDA    *nda.Engine
 	RT     *ndart.Runtime
 
+	// gens holds each core's trace generator (index-aligned with Cores);
+	// retained for checkpointing — the cores themselves treat the
+	// generator as an opaque instruction source.
+	gens []*workload.Generator
+
 	dramCycle int64
 	cpuCycle  int64
 	credit    int
@@ -283,6 +288,7 @@ func New(cfg Config) (*System, error) {
 				return nil, fmt.Errorf("sim: core %d footprint: %w", i, err)
 			}
 			gen := workload.NewGenerator(p, region, fp, cfg.Seed+int64(i)*7919)
+			s.gens = append(s.gens, gen)
 			s.Cores = append(s.Cores, cpu.NewCore(i, cfg.Core, gen, s.Hier))
 		}
 	}

@@ -1,0 +1,28 @@
+package workload
+
+// GenState is an opaque copy of a Generator's mutable state: the RNG
+// position (as a draw count, replayed on restore) and the per-stream
+// cursors. The profile, region, and seed are construction inputs and
+// are not part of the snapshot — restore targets a generator built with
+// the same arguments.
+type GenState struct {
+	draws   uint64
+	streams []uint64
+}
+
+// Snapshot captures the generator's mutable state.
+func (g *Generator) Snapshot() *GenState {
+	return &GenState{draws: g.src.draws, streams: append([]uint64(nil), g.streams...)}
+}
+
+// Restore rewinds (or fast-forwards) the generator to the snapshotted
+// state by replaying the RNG to the recorded draw count and copying the
+// stream cursors. The generator must have been built with the same
+// profile, region, and seed as the snapshotted one.
+func (g *Generator) Restore(st *GenState) {
+	if len(st.streams) != len(g.streams) {
+		panic("workload: restore onto a generator with different stream count")
+	}
+	g.src.replayTo(g.seed, st.draws)
+	copy(g.streams, st.streams)
+}

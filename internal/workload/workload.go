@@ -97,11 +97,51 @@ var Mixes = [][]string{
 // MixName formats the canonical mix label.
 func MixName(i int) string { return fmt.Sprintf("mix%d", i) }
 
+// countedSource wraps a math/rand source and counts state advances, so
+// a generator's RNG position can be snapshotted as a draw count and
+// restored by replay. Both Int63 and Uint64 advance the underlying
+// generator exactly once (Int63 is the masked Uint64), so replaying n
+// Uint64 calls reproduces the state after any mix of n draws.
+type countedSource struct {
+	src   rand.Source64
+	draws uint64
+}
+
+func newCountedSource(seed int64) *countedSource {
+	return &countedSource{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+func (c *countedSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countedSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+func (c *countedSource) Seed(seed int64) {
+	c.draws = 0
+	c.src.Seed(seed)
+}
+
+// replayTo reseeds and advances the source to an exact draw count.
+func (c *countedSource) replayTo(seed int64, draws uint64) {
+	c.src.Seed(seed)
+	for i := uint64(0); i < draws; i++ {
+		c.src.Uint64()
+	}
+	c.draws = draws
+}
+
 // Generator produces the synthetic instruction stream for one benchmark
 // instance. It implements cpu.TraceSource deterministically from a seed.
 type Generator struct {
 	prof Profile
 	rng  *rand.Rand
+	src  *countedSource
+	seed int64
 	dep  float64
 
 	base    uint64 // physical base of this instance's region
@@ -116,7 +156,8 @@ func NewGenerator(prof Profile, base, size uint64, seed int64) *Generator {
 	if size == 0 {
 		panic("workload: zero-sized region")
 	}
-	g := &Generator{prof: prof, rng: rand.New(rand.NewSource(seed)), dep: depFrac, base: base, size: size}
+	src := newCountedSource(seed)
+	g := &Generator{prof: prof, rng: rand.New(src), src: src, seed: seed, dep: depFrac, base: base, size: size}
 	if prof.DepFrac > 0 {
 		g.dep = prof.DepFrac
 	}

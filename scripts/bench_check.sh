@@ -71,5 +71,15 @@ for name in sorted(f):
         print(f"  {name}: {allocs} allocs/op, want 0 [FAIL]")
         bad = True
 
+# So is the cached-regeneration gate: replaying a figure from the
+# result cache is a JSON read and must beat simulating it by >=10x.
+cache = json.load(open(fresh)).get("cache")
+if cache:
+    speedup = cache.get("speedup", 0)
+    flag = "FAIL" if speedup < 10 else "ok"
+    print(f"  cached regeneration: x{speedup} vs simulated, want >=10 [{flag}]")
+    if speedup < 10:
+        bad = True
+
 sys.exit(1 if bad else 0)
 EOF
