@@ -6,6 +6,7 @@
 //
 //	chopim [-quick] [-warm N] [-measure N] [-parallel N] [-sim-workers N]
 //	       [-profile-domains] [-cache-dir D] [-checkpoint D [-resume]]
+//	       [-check-invariants] [-deadline D] [-point-retries N] [-fail-fast]
 //	       [-cpuprofile F] [-memprofile F] <experiment>
 //
 // Experiments: fig2 fig10 fig11 fig12 fig13 fig14 fig15a fig15b power
@@ -35,6 +36,16 @@
 // workload is bounded by one hot channel or by the serial front-end
 // before reaching for -sim-workers.
 //
+// Robustness flags: -check-invariants arms the simulator's cross-layer
+// conservation checker on every point (results are bit-identical with
+// it on or off; violations quarantine the point instead of corrupting
+// the table). -deadline D bounds each point's wall-clock time;
+// -point-retries N retries transient point failures with backoff.
+// Sweeps run in partial-failure mode by default — healthy points
+// complete and the failures are reported together — while -fail-fast
+// restores abort-on-first-error. -inject arms a named fault for the
+// fault-injection smoke tests (see internal/faults).
+//
 // -cpuprofile / -memprofile write pprof profiles covering the selected
 // experiment (see README.md, "Profiling").
 package main
@@ -44,12 +55,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"text/tabwriter"
 	"time"
 
 	"chopim/internal/dram"
 	"chopim/internal/experiments"
+	"chopim/internal/faults"
 	"chopim/internal/stats"
 )
 
@@ -57,7 +70,17 @@ func main() { os.Exit(run()) }
 
 // run executes the CLI; profile writers installed here flush on every
 // return path (os.Exit would skip deferred writes).
-func run() int {
+func run() (code int) {
+	// Last-resort boundary: the runner quarantines per-point panics, but
+	// a panic outside any point (flag handling, table rendering, a bug
+	// in the harness itself) should still exit with a diagnostic and a
+	// distinct code rather than a bare crash.
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "chopim: internal panic: %v\n%s", r, debug.Stack())
+			code = 3
+		}
+	}()
 	quick := flag.Bool("quick", false, "reduced simulation budget")
 	warm := flag.Int64("warm", 0, "warm-up cycles (0 = default)")
 	measure := flag.Int64("measure", 0, "measurement cycles (0 = default)")
@@ -73,6 +96,16 @@ func run() int {
 		"sweep progress journal directory: record each completed simulation point as it finishes")
 	resume := flag.Bool("resume", false,
 		"pick an interrupted sweep up at the last completed point recorded in the -checkpoint journals")
+	checkInvariants := flag.Bool("check-invariants", false,
+		"validate cross-layer conservation invariants at every commit barrier (bit-identical results, slower; violations quarantine the point)")
+	deadline := flag.Duration("deadline", 0,
+		"per-point wall-clock deadline (0 = none); an expired point fails with partial stats and the sweep continues")
+	pointRetries := flag.Int("point-retries", 0,
+		"retries with exponential backoff for transient per-point failures")
+	failFast := flag.Bool("fail-fast", false,
+		"abort a sweep at the first failing point instead of completing the healthy ones")
+	inject := flag.String("inject", "",
+		"arm a fault for smoke testing: panic-point=K, point-err=K:N, or stuck-horizon=C")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: chopim [flags] <fig2|fig10|fig11|fig12|fig13|fig14|fig15a|fig15b|power|config|all>\n")
 		flag.PrintDefaults()
@@ -136,9 +169,20 @@ func run() int {
 	opt.CacheDir = *cacheDir
 	opt.JournalDir = *checkpoint
 	opt.Resume = *resume
+	opt.CheckInvariants = *checkInvariants
+	opt.PointTimeout = *deadline
+	opt.PointRetries = *pointRetries
+	opt.KeepGoing = !*failFast
+	if *inject != "" {
+		if err := faults.ArmSpec(*inject); err != nil {
+			fmt.Fprintf(os.Stderr, "chopim: -inject: %v\n", err)
+			return 2
+		}
+	}
 	if *cacheDir != "" || *checkpoint != "" {
 		defer printCacheStats()
 	}
+	defer printSweepHealth()
 
 	cmds := map[string]func(experiments.Options) error{
 		"fig2":   runFig2,
@@ -190,6 +234,19 @@ func printCacheStats() {
 	st := experiments.ReadRunnerStats()
 	fmt.Printf("\ncache: %d hits, %d misses; resumed %d points; %d warm forks\n",
 		st.CacheHits, st.CacheMisses, st.Resumed, st.WarmForks)
+}
+
+// printSweepHealth reports fault-handling activity on stderr after any
+// run where it occurred: panics quarantined, transient retries, or
+// deadline expiries. Quiet on healthy runs; CI's fault-injection smoke
+// greps for it.
+func printSweepHealth() {
+	st := experiments.ReadRunnerStats()
+	if st.Panics == 0 && st.Retries == 0 && st.Timeouts == 0 && st.Quarantined == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "sweep health: %d panics (%d points quarantined), %d retries, %d deadline expiries\n",
+		st.Panics, st.Quarantined, st.Retries, st.Timeouts)
 }
 
 // printPhaseSpans renders the -profile-domains histograms: executed-tick

@@ -81,8 +81,21 @@ func log2(n int) uint {
 // permutation-based interleaving the paper assumes). The top row bits are
 // direct physical MSBs, which the proposed partitioned mapping requires.
 func NewSkylakeLike(g dram.Geometry) *XORMap {
-	if err := g.Validate(); err != nil {
+	m, err := NewSkylakeLikeChecked(g)
+	if err != nil {
 		panic(err)
+	}
+	return m
+}
+
+// NewSkylakeLikeChecked is NewSkylakeLike returning invalid geometry as
+// an error instead of panicking — the form sweep drivers use, where a
+// bad point must be rejectable without killing the process. Geometry
+// validation (positive powers of two everywhere) is the only failure
+// mode; past it, construction cannot fail.
+func NewSkylakeLikeChecked(g dram.Geometry) (*XORMap, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
 	}
 	m := &XORMap{geom: g}
 	pos := uint(6) // 64B block offset
@@ -151,7 +164,7 @@ func NewSkylakeLike(g dram.Geometry) *XORMap {
 	for i := uint(0); i < nBankField; i++ {
 		m.rowMSBs = append(m.rowMSBs, top-nBankField+i)
 	}
-	return m
+	return m, nil
 }
 
 // Decode implements Mapper.
@@ -194,11 +207,22 @@ type PartitionedMap struct {
 // NewPartitioned wraps base with reservedBanks top banks set aside per
 // rank. reservedBanks must be in [1, banksPerRank-1].
 func NewPartitioned(base *XORMap, reservedBanks int) *PartitionedMap {
+	p, err := NewPartitionedChecked(base, reservedBanks)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// NewPartitionedChecked is NewPartitioned returning an out-of-range
+// reservation as an error instead of panicking (the sweep-driver form:
+// a bad point must be rejectable without killing the process).
+func NewPartitionedChecked(base *XORMap, reservedBanks int) (*PartitionedMap, error) {
 	n := base.geom.BanksPerRank()
 	if reservedBanks < 1 || reservedBanks >= n {
-		panic(fmt.Sprintf("addrmap: reservedBanks %d out of range [1,%d)", reservedBanks, n-1))
+		return nil, fmt.Errorf("addrmap: reservedBanks %d out of range [1,%d)", reservedBanks, n-1)
 	}
-	return &PartitionedMap{Base: base, ReservedBanks: reservedBanks}
+	return &PartitionedMap{Base: base, ReservedBanks: reservedBanks}, nil
 }
 
 // HostCapacity returns the bytes of physical space usable for host-only

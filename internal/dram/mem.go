@@ -215,12 +215,24 @@ func (m *Mem) ChannelCounts(ch int) CmdCounts { return m.cnts[ch] }
 
 // New builds a Mem with the given geometry and timing. It panics on
 // invalid configuration; configurations are programmer-supplied constants.
+// Sweep drivers, whose geometry/timing arrive from user-reachable config,
+// use NewChecked.
 func New(g Geometry, t Timing) *Mem {
-	if err := g.Validate(); err != nil {
+	m, err := NewChecked(g, t)
+	if err != nil {
 		panic(err)
 	}
+	return m
+}
+
+// NewChecked is New returning invalid geometry or timing as an error
+// instead of panicking.
+func NewChecked(g Geometry, t Timing) (*Mem, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
 	if err := t.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	m := &Mem{Geom: g, T: t, channels: make([]chanState, g.Channels),
 		cnts: make([]CmdCounts, g.Channels), chVer: make([]uint64, g.Channels)}
@@ -240,7 +252,7 @@ func New(g Geometry, t Timing) *Mem {
 			}
 		}
 	}
-	return m
+	return m, nil
 }
 
 func (m *Mem) rank(a Addr) *rankState { return &m.channels[a.Channel].ranks[a.Rank] }

@@ -10,9 +10,11 @@ package experiments
 import (
 	"bytes"
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -60,12 +62,11 @@ func figCached[T any](opt Options, fig string, gen func(Options) (T, error)) (T,
 	if opt.CacheDir != "" {
 		path = filepath.Join(opt.CacheDir, fig+"-"+key[:20]+".json")
 		if b, err := os.ReadFile(path); err == nil {
-			var v T
-			if err := json.Unmarshal(b, &v); err == nil {
+			if v, ok := decodeCacheEntry[T](key, b); ok {
 				statCacheHits.Add(1)
 				return v, nil
 			}
-			// Corrupt entry: fall through and regenerate it.
+			// Corrupt or foreign entry: fall through and regenerate it.
 		}
 		statCacheMisses.Add(1)
 	}
@@ -77,11 +78,60 @@ func figCached[T any](opt Options, fig string, gen func(Options) (T, error)) (T,
 	// cache, its rows are now replayable from there).
 	opt.journal.finish()
 	if path != "" {
-		if b, merr := json.Marshal(v); merr == nil {
+		if b, ok := encodeCacheEntry(key, v); ok {
 			writeFileAtomic(path, b)
 		}
 	}
 	return v, nil
+}
+
+// cacheEnvelope wraps a cache entry's rows with everything needed to
+// prove them trustworthy on read-back: the model schema, the full cache
+// key (the filename only embeds a prefix), and a checksum of the rows.
+// Any mismatch — truncation, bit flips, a hand-edited file, an entry
+// written under a colliding filename — reads as a miss and the figure
+// recomputes; a corrupt cache can slow a run but never change a table.
+type cacheEnvelope struct {
+	Schema string
+	Key    string
+	Sum    string // hex sha256 of Rows
+	Rows   json.RawMessage
+}
+
+func encodeCacheEntry[T any](key string, v T) ([]byte, bool) {
+	rows, err := json.Marshal(v)
+	if err != nil {
+		return nil, false
+	}
+	sum := sha256.Sum256(rows)
+	b, err := json.Marshal(cacheEnvelope{
+		Schema: cacheSchema,
+		Key:    key,
+		Sum:    hex.EncodeToString(sum[:]),
+		Rows:   rows,
+	})
+	return b, err == nil
+}
+
+// decodeCacheEntry verifies an on-disk entry end to end before trusting
+// it. Every failure mode is a miss, never an error: the cache is an
+// accelerator, not a correctness dependency.
+func decodeCacheEntry[T any](key string, b []byte) (T, bool) {
+	var zero T
+	var env cacheEnvelope
+	if json.Unmarshal(b, &env) != nil ||
+		env.Schema != cacheSchema || env.Key != key {
+		return zero, false
+	}
+	sum := sha256.Sum256(env.Rows)
+	if hex.EncodeToString(sum[:]) != env.Sum {
+		return zero, false
+	}
+	var v T
+	if json.Unmarshal(env.Rows, &v) != nil {
+		return zero, false
+	}
+	return v, true
 }
 
 // writeFileAtomic writes b to path via a temp file and rename. Errors
@@ -195,6 +245,17 @@ type journalHeader struct {
 type journalLine struct {
 	I int
 	R json.RawMessage
+	C uint32 // journalCRC(I, R); 0 in pre-checksum journals, which therefore never replay
+}
+
+// journalCRC checksums one journal record: the point index (little-
+// endian, so index corruption is caught even when the row survives)
+// followed by the row bytes.
+func journalCRC(i int, r []byte) uint32 {
+	var idx [8]byte
+	binary.LittleEndian.PutUint64(idx[:], uint64(i))
+	c := crc32.ChecksumIEEE(idx[:])
+	return crc32.Update(c, crc32.IEEETable, r)
 }
 
 // journalLoad replays a journal into results and returns the
@@ -222,7 +283,8 @@ func journalLoad[T any](jf *journalFile, results []T) []bool {
 					}
 					var rec journalLine
 					if json.Unmarshal(ln, &rec) != nil ||
-						rec.I < 0 || rec.I >= len(results) {
+						rec.I < 0 || rec.I >= len(results) ||
+						rec.C != journalCRC(rec.I, rec.R) {
 						break
 					}
 					var v T
@@ -271,7 +333,7 @@ func journalRecord[T any](jf *journalFile, i int, v T) {
 		jf.mu.Unlock()
 		return
 	}
-	line, _ := json.Marshal(journalLine{I: i, R: rb})
+	line, _ := json.Marshal(journalLine{I: i, R: rb, C: journalCRC(i, rb)})
 	jf.mu.Lock()
 	defer jf.mu.Unlock()
 	if jf.f == nil || jf.dead {

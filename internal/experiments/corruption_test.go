@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// corruptions is the shared mutation table: every way a cache entry or
+// journal on disk can rot — truncation, garbage, bit flips at every
+// position — must read back as a miss (recompute) or a clean partial
+// resume, never as wrong rows.
+func corruptions(pristine []byte) map[string][]byte {
+	muts := map[string][]byte{
+		"empty":           {},
+		"truncated-half":  pristine[:len(pristine)/2],
+		"truncated-tail":  pristine[:len(pristine)-3],
+		"garbage":         []byte("!!not json at all\x00\xff"),
+		"garbage-prefix":  append([]byte("xx"), pristine...),
+		"doubled":         append(append([]byte{}, pristine...), pristine...),
+		"wrong-but-valid": []byte(`{"Schema":"chopim-results-v1","Key":"0000","Sum":"00","Rows":[1]}`),
+	}
+	// Flip one bit at a spread of byte positions (every position for
+	// short payloads).
+	stride := len(pristine)/64 + 1
+	for pos := 0; pos < len(pristine); pos += stride {
+		b := append([]byte{}, pristine...)
+		b[pos] ^= 0x40
+		muts[fmt.Sprintf("bitflip@%d", pos)] = b
+	}
+	return muts
+}
+
+// TestCacheCorruptionRecomputesIdentically writes a cache entry, then
+// mutilates the on-disk bytes every way in the table and checks each
+// read: the rows handed back are always byte-identical to a clean
+// computation, and a detected miss rewrites the entry to exactly its
+// pristine bytes.
+func TestCacheCorruptionRecomputesIdentically(t *testing.T) {
+	dir := t.TempDir()
+	opt := Options{CacheDir: dir}
+	pristineRows := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	var genCalls int
+	gen := func(Options) ([]int, error) {
+		genCalls++
+		return append([]int{}, pristineRows...), nil
+	}
+	first, err := figCached(opt, "corrfig", gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, pristineRows) || genCalls != 1 {
+		t.Fatalf("seed run: rows=%v calls=%d", first, genCalls)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "corrfig-*.json"))
+	if len(files) != 1 {
+		t.Fatalf("cache files = %v, want one", files)
+	}
+	path := files[0]
+	pristineBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: an untouched entry replays without the generator.
+	calls0 := genCalls
+	if v, err := figCached(opt, "corrfig", gen); err != nil || !reflect.DeepEqual(v, pristineRows) || genCalls != calls0 {
+		t.Fatalf("clean hit: rows=%v err=%v calls=%d (want %d)", v, err, genCalls, calls0)
+	}
+
+	for name, mut := range corruptions(pristineBytes) {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			v, err := figCached(opt, "corrfig", gen)
+			if err != nil {
+				t.Fatalf("corrupt cache surfaced an error: %v", err)
+			}
+			if !reflect.DeepEqual(v, pristineRows) {
+				t.Fatalf("rows after corruption = %v, want %v", v, pristineRows)
+			}
+			// A detected miss recomputes and rewrites the entry; the
+			// rewrite must be byte-identical to the pristine encoding.
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, pristineBytes) {
+				t.Errorf("rewritten entry differs from pristine encoding:\n got:  %q\n want: %q", got, pristineBytes)
+			}
+		})
+	}
+}
+
+// TestJournalCorruptionResumesCleanly seeds a complete journal, then for
+// every mutation reruns the sweep under -resume: whatever survives the
+// checksummed replay is reused, the rest recomputes, and the final
+// results are always identical to a clean run.
+func TestJournalCorruptionResumesCleanly(t *testing.T) {
+	dir := t.TempDir()
+	job := func(i int) (int, error) { return i*3 + 1, nil }
+	want := []int{1, 4, 7, 10, 13, 16}
+	mkOpt := func() Options {
+		opt := Options{JournalDir: dir, Resume: true}
+		opt.journal = newJournalCtx(opt, "jfig", "feedfacefeedfacefeedface")
+		return opt
+	}
+	if v, err := sharded(mkOpt(), 6, job); err != nil || !reflect.DeepEqual(v, want) {
+		t.Fatalf("seed sweep: %v %v", v, err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "jfig-*.journal"))
+	if len(files) != 1 {
+		t.Fatalf("journal files = %v, want one", files)
+	}
+	path := files[0]
+	pristineBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, mut := range corruptions(pristineBytes) {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			v, err := sharded(mkOpt(), 6, job)
+			if err != nil {
+				t.Fatalf("resume over corrupt journal errored: %v", err)
+			}
+			if !reflect.DeepEqual(v, want) {
+				t.Fatalf("results after corruption = %v, want %v", v, want)
+			}
+		})
+	}
+
+	// A journal bound to a different sweep width must be discarded
+	// outright, not partially replayed.
+	if err := os.WriteFile(path, pristineBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := sharded(mkOpt(), 4, func(i int) (int, error) { return i, nil }); err != nil ||
+		!reflect.DeepEqual(v, []int{0, 1, 2, 3}) {
+		t.Fatalf("width-changed sweep: %v %v", v, err)
+	}
+}

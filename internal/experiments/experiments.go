@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"chopim/internal/dram"
 	"chopim/internal/ndart"
@@ -62,6 +63,29 @@ type Options struct {
 	JournalDir string
 	Resume     bool
 
+	// CheckInvariants arms sim.Config.CheckInvariants on every point:
+	// cross-layer conservation invariants validated at each commit
+	// barrier, violations quarantining the point. Results are
+	// bit-identical with it on or off.
+	CheckInvariants bool
+
+	// PointTimeout, when positive, bounds each point's wall-clock time
+	// (sim.Config.MaxWallClock): an expired point fails with a
+	// DeadlineError, counted in RunnerStats.Timeouts, and under
+	// KeepGoing the rest of the sweep still completes.
+	PointTimeout time.Duration
+
+	// PointRetries bounds retry-with-backoff for transient point
+	// failures (I/O interruptions, injected transient faults). 0
+	// disables retry; simulation errors are deterministic and are never
+	// retried regardless.
+	PointRetries int
+
+	// KeepGoing switches a sweep from fail-fast to partial-failure
+	// mode: every healthy point completes, and the failures are
+	// reported together as a *SweepError.
+	KeepGoing bool
+
 	// journal carries the figure's resume-journal context from
 	// figCached into its sharded sweeps.
 	journal *journalCtx
@@ -73,6 +97,8 @@ type Options struct {
 func (o Options) newSystem(cfg sim.Config) (*sim.System, error) {
 	cfg.SimWorkers = o.SimWorkers
 	cfg.ProfileDomains = o.ProfileDomains
+	cfg.CheckInvariants = o.CheckInvariants
+	cfg.MaxWallClock = o.PointTimeout
 	return sim.New(cfg)
 }
 
@@ -96,12 +122,16 @@ var (
 )
 
 // warmPoolKey fingerprints a point's warm-up: the full simulation
-// config with the two state-free knobs zeroed (SimWorkers and
-// ProfileDomains do not affect simulated state; sim.Restore accepts
-// either differing) plus the warm-cycle budget.
+// config with the state-free knobs zeroed (SimWorkers, ProfileDomains,
+// and the robustness knobs do not affect simulated state; sim.Restore
+// accepts any of them differing) plus the warm-cycle budget.
 func warmPoolKey(cfg sim.Config, warm int64) (string, bool) {
 	cfg.SimWorkers = 0
 	cfg.ProfileDomains = false
+	cfg.CheckInvariants = false
+	cfg.WatchdogWindow = 0
+	cfg.MaxCycles = 0
+	cfg.MaxWallClock = 0
 	b, err := json.Marshal(struct {
 		Schema string
 		Cfg    sim.Config
@@ -190,12 +220,17 @@ func measureConcurrent(s *sim.System, it launcher, opt Options) (Result, error) 
 	// windows and produces counters bit-identical to Tick-ing every
 	// cycle; handles only complete on executed ticks, so relaunching
 	// after each step reproduces the cycle-exact relaunch schedule.
-	step := func(end int64) {
+	// Errors (deadline, livelock, sticky failures) abort the point; the
+	// reference path checks the deadline itself since Tick never does.
+	step := func(end int64) error {
 		if opt.CycleByCycle {
+			if err := s.DeadlineExceeded(); err != nil {
+				return err
+			}
 			s.Tick()
-		} else {
-			s.StepFast(end)
+			return nil
 		}
+		return s.StepFast(end)
 	}
 	warmEnd := s.Now() + opt.WarmCycles
 	// Host-only points on the fast path share warm-up state through the
@@ -214,7 +249,9 @@ func measureConcurrent(s *sim.System, it launcher, opt Options) (Result, error) 
 				statWarmForks.Add(1)
 			} else {
 				for s.Now() < warmEnd {
-					step(warmEnd)
+					if err := step(warmEnd); err != nil {
+						return Result{}, err
+					}
 				}
 				if ck, err := s.Snapshot(); err == nil {
 					warmMu.Lock()
@@ -227,36 +264,49 @@ func measureConcurrent(s *sim.System, it launcher, opt Options) (Result, error) 
 		}
 	}
 	for s.Now() < warmEnd {
-		step(warmEnd)
+		if err := step(warmEnd); err != nil {
+			return Result{}, err
+		}
 		if err := relaunch(); err != nil {
 			return Result{}, err
 		}
 	}
 	s.BeginMeasurement()
 	busy0, blocks0 := s.HostBusyCycles(), s.NDABlocks()
+	// finalize folds whatever has been measured so far into a Result —
+	// the complete window normally, a truncated one when a deadline or
+	// livelock aborts mid-measurement (the partial stats ride back
+	// alongside the error so callers can report how far the point got).
+	finalize := func() Result {
+		for _, c := range s.MCs {
+			c.FinalizeStats(s.Now())
+		}
+		blocks := s.NDABlocks() - blocks0
+		busy := s.HostBusyCycles() - busy0
+		res := Result{
+			HostIPC:   s.HostIPC(),
+			NDAUtil:   s.NDAUtilization(busy, blocks),
+			NDABWGBs:  s.NDABandwidthGBs(blocks * dram.BlockBytes),
+			NDABlocks: blocks,
+			HostBusy:  busy,
+			Cycles:    s.MeasuredCycles(),
+		}
+		hostBlocks := float64(busy) / float64(s.Cfg.Timing.BL) // approx: busy cycles are data bursts
+		if mc := s.MeasuredCycles(); mc > 0 {
+			res.HostBWGBs = hostBlocks * dram.BlockBytes / sim.Seconds(mc) / 1e9
+		}
+		return res
+	}
 	measEnd := s.Now() + opt.MeasureCycles
 	for s.Now() < measEnd {
-		step(measEnd)
+		if err := step(measEnd); err != nil {
+			return finalize(), err
+		}
 		if err := relaunch(); err != nil {
 			return Result{}, err
 		}
 	}
-	for _, c := range s.MCs {
-		c.FinalizeStats(s.Now())
-	}
-	blocks := s.NDABlocks() - blocks0
-	busy := s.HostBusyCycles() - busy0
-	res := Result{
-		HostIPC:   s.HostIPC(),
-		NDAUtil:   s.NDAUtilization(busy, blocks),
-		NDABWGBs:  s.NDABandwidthGBs(blocks * dram.BlockBytes),
-		NDABlocks: blocks,
-		HostBusy:  busy,
-		Cycles:    s.MeasuredCycles(),
-	}
-	hostBlocks := float64(busy) / float64(s.Cfg.Timing.BL) // approx: busy cycles are data bursts
-	res.HostBWGBs = hostBlocks * dram.BlockBytes / sim.Seconds(s.MeasuredCycles()) / 1e9
-	return res, nil
+	return finalize(), nil
 }
 
 // microVectorElems returns a Private vector length giving each rank

@@ -1,0 +1,141 @@
+// Per-point fault isolation for the sharded runner: a panicking point —
+// any of the simulator's internal impossible-state panics, an armed
+// invariant checker, or an injected fault — is recovered into a
+// PointError and quarantined instead of killing the process, transient
+// I/O failures retry with exponential backoff, and deadline expiries
+// are counted separately. Under Options.KeepGoing a sweep completes
+// every healthy point and reports the failures together as a
+// SweepError; the default remains fail-fast on the lowest-index error.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"syscall"
+	"time"
+
+	"chopim/internal/faults"
+	"chopim/internal/sim"
+)
+
+// PointError describes one failed sweep point. Panic carries the
+// recovered value (with Stack) when the point crashed rather than
+// returning an error.
+type PointError struct {
+	Index int
+	Err   error  // underlying error; nil when the point panicked
+	Panic any    // recovered panic value; nil for plain errors
+	Stack []byte // goroutine stack at recovery (panics only)
+}
+
+func (e *PointError) Error() string {
+	if e.Panic != nil {
+		return fmt.Sprintf("point %d: quarantined after panic: %v\n%s", e.Index, e.Panic, e.Stack)
+	}
+	return fmt.Sprintf("point %d: %v", e.Index, e.Err)
+}
+
+func (e *PointError) Unwrap() error { return e.Err }
+
+// SweepError aggregates every failed point of a KeepGoing sweep. The
+// healthy points' results are complete and valid alongside it.
+type SweepError struct {
+	Total    int
+	Failures []*PointError // ascending by index
+}
+
+func (e *SweepError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep: %d of %d points failed (failures quarantined; healthy points completed)",
+		len(e.Failures), e.Total)
+	for _, f := range e.Failures {
+		b.WriteString("\n  ")
+		b.WriteString(f.Error())
+	}
+	return b.String()
+}
+
+func (e *SweepError) Unwrap() []error {
+	out := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		out[i] = f
+	}
+	return out
+}
+
+// asPointError wraps a plain point failure with its index, passing an
+// existing PointError through.
+func asPointError(i int, err error) *PointError {
+	var pe *PointError
+	if errors.As(err, &pe) {
+		return pe
+	}
+	return &PointError{Index: i, Err: err}
+}
+
+// guardedJob runs one point attempt with panic isolation: a panic
+// anywhere below — simulator internals, an armed invariant checker, an
+// injected fault — comes back as a PointError carrying the stack. The
+// fault-injection sites for the runner live here too, inside the
+// recovery scope, so injected panics exercise the same path real ones
+// take.
+func guardedJob[T any](i int, job func(int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PointError{Index: i, Panic: r, Stack: debug.Stack()}
+		}
+	}()
+	if faults.Active() {
+		faults.Adjust(faults.RunnerPoint, int64(i)) // an armed panic hook fires here
+		if ferr := faults.FireErr(faults.RunnerPointErr, int64(i)); ferr != nil {
+			return v, ferr
+		}
+	}
+	return job(i)
+}
+
+// isTransient classifies an error as worth retrying: anything
+// advertising Temporary() (injected faults do), or the interrupted/
+// try-again syscall failures a journaling sweep can hit under I/O
+// pressure. Simulation errors are deterministic and never retried.
+func isTransient(err error) bool {
+	var t interface{ Temporary() bool }
+	if errors.As(err, &t) && t.Temporary() {
+		return true
+	}
+	return errors.Is(err, syscall.EINTR) || errors.Is(err, syscall.EAGAIN)
+}
+
+// runPoint executes one sweep point with isolation, classification, and
+// bounded retry: panics quarantine immediately (retrying corrupt state
+// re-crashes), deadline expiries count and fail without retry (the
+// point would time out again), and transient errors retry up to
+// Options.PointRetries times with exponential backoff.
+func runPoint[T any](opt Options, i int, job func(int) (T, error)) (T, error) {
+	var zero T
+	for attempt := 0; ; attempt++ {
+		v, err := timedJob(i, func(i int) (T, error) { return guardedJob(i, job) })
+		if err == nil {
+			return v, nil
+		}
+		var pe *PointError
+		if errors.As(err, &pe) && pe.Panic != nil {
+			statPanics.Add(1)
+			statQuarantined.Add(1)
+			return zero, err
+		}
+		var de *sim.DeadlineError
+		if errors.As(err, &de) {
+			statTimeouts.Add(1)
+			return zero, err
+		}
+		if attempt < opt.PointRetries && isTransient(err) {
+			statRetries.Add(1)
+			time.Sleep(time.Duration(1<<uint(attempt)) * time.Millisecond)
+			continue
+		}
+		return zero, err
+	}
+}

@@ -44,6 +44,11 @@ type RunnerStats struct {
 	CacheMisses int64 // figures simulated and stored (CacheDir set)
 	Resumed     int64 // points replayed from resume journals
 	WarmForks   int64 // points forked from a pooled warm checkpoint
+
+	Panics      int64 // points that panicked (recovered and quarantined)
+	Retries     int64 // point attempts retried after a transient error
+	Timeouts    int64 // points that hit their deadline (Options.PointTimeout)
+	Quarantined int64 // points abandoned after a panic
 }
 
 var (
@@ -55,6 +60,10 @@ var (
 	statCacheMisses atomic.Int64
 	statResumed     atomic.Int64
 	statWarmForks   atomic.Int64
+	statPanics      atomic.Int64
+	statRetries     atomic.Int64
+	statTimeouts    atomic.Int64
+	statQuarantined atomic.Int64
 )
 
 // ReadRunnerStats returns the aggregated runner statistics.
@@ -69,13 +78,26 @@ func ReadRunnerStats() RunnerStats {
 		CacheMisses: statCacheMisses.Load(),
 		Resumed:     statResumed.Load(),
 		WarmForks:   statWarmForks.Load(),
+
+		Panics:      statPanics.Load(),
+		Retries:     statRetries.Load(),
+		Timeouts:    statTimeouts.Load(),
+		Quarantined: statQuarantined.Load(),
 	}
 }
 
 // sharded runs n independent jobs with the worker count opt implies and
-// returns the results in index order. The first error by index aborts
-// the figure (matching the serial harness, which stops at the first
-// failing point); later jobs already in flight are still drained.
+// returns the results in index order. Every attempt runs under panic
+// isolation with retry/quarantine classification (see runPoint). The
+// default is fail-fast: the first error by index aborts the figure
+// (matching the serial harness, which stops at the first failing
+// point); later jobs already in flight are still drained, and pending
+// submissions are cancelled both before and after the worker-slot
+// acquire, so a failure never admits a stale submission that was
+// already parked on the semaphore. Under Options.KeepGoing every point
+// runs regardless of failures and the failed ones come back together
+// as a *SweepError; quarantined points are never journaled as done, so
+// a resumed sweep recomputes exactly them.
 func sharded[T any](opt Options, n int, job func(i int) (T, error)) ([]T, error) {
 	workers := opt.parallelism()
 	if prev := statShard.Load(); int64(workers) > prev {
@@ -92,18 +114,26 @@ func sharded[T any](opt Options, n int, job func(i int) (T, error)) ([]T, error)
 		if done != nil && done[i] {
 			return nil
 		}
-		var err error
-		if results[i], err = timedJob(i, job); err != nil {
+		v, err := runPoint(opt, i, job)
+		if err != nil {
 			return err
 		}
-		journalRecord(jf, i, results[i])
+		results[i] = v
+		journalRecord(jf, i, v)
 		return nil
 	}
 	if workers == 1 || n <= 1 {
+		var fails []*PointError
 		for i := 0; i < n; i++ {
 			if err := runOne(i); err != nil {
-				return nil, err
+				if !opt.KeepGoing {
+					return nil, err
+				}
+				fails = append(fails, asPointError(i, err))
 			}
+		}
+		if len(fails) > 0 {
+			return results, &SweepError{Total: n, Failures: fails}
 		}
 		return results, nil
 	}
@@ -112,10 +142,15 @@ func sharded[T any](opt Options, n int, job func(i int) (T, error)) ([]T, error)
 	var wg sync.WaitGroup
 	var failed atomic.Bool
 	for i := 0; i < n; i++ {
+		if !opt.KeepGoing && failed.Load() {
+			break // abort before queueing on a worker slot
+		}
 		sem <- struct{}{}
-		if failed.Load() {
+		if !opt.KeepGoing && failed.Load() {
+			// The failure landed while this submission waited on the
+			// semaphore; release the slot and abort.
 			<-sem
-			break // abort submissions; in-flight jobs drain below
+			break
 		}
 		wg.Add(1)
 		go func(i int) {
@@ -127,6 +162,18 @@ func sharded[T any](opt Options, n int, job func(i int) (T, error)) ([]T, error)
 		}(i)
 	}
 	wg.Wait()
+	if opt.KeepGoing {
+		var fails []*PointError
+		for i, err := range errs {
+			if err != nil {
+				fails = append(fails, asPointError(i, err))
+			}
+		}
+		if len(fails) > 0 {
+			return results, &SweepError{Total: n, Failures: fails}
+		}
+		return results, nil
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

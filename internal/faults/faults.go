@@ -1,0 +1,210 @@
+// Package faults is the fault-injection registry behind the robustness
+// tests: named injection sites in the simulator and the experiment
+// runner consult it, and tests (or the hidden -inject CLI flag) arm
+// hooks that corrupt values, return transient errors, or panic at a
+// chosen point. The registry exists so the detectors built in this
+// layer — the livelock watchdog, point quarantine, retry-with-backoff —
+// are proven to FIRE, not merely to exist.
+//
+// Disarmed cost is one atomic load per consultation (sites are
+// consulted per fast-path wake, not per cycle, and the hot benchmarks
+// pin the zero-allocs contract with the registry present); tests arm a
+// hook, run, and disarm with the returned closure.
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"chopim/internal/dram"
+)
+
+// Injection sites. A site name couples the arming side (tests, ArmSpec)
+// to the consulting side (sim, experiments) without a package
+// dependency between them.
+const (
+	// SimNextEvent adjusts the fast path's next-event wake bound before
+	// StepFast consumes it. Returning dram.Never while work is pending
+	// simulates the stuck-horizon bug class the livelock detector exists
+	// for.
+	SimNextEvent = "sim.next-event"
+	// RunnerPoint fires with each sweep point's index before the point
+	// simulates; a hook that panics simulates a crashing point.
+	RunnerPoint = "experiments.point"
+	// RunnerPointErr may return an error for a sweep point's index;
+	// returning a transient error exercises the retry path.
+	RunnerPointErr = "experiments.point-err"
+)
+
+var (
+	// armed counts installed hooks: the zero check is the only cost a
+	// disarmed consultation pays.
+	armed atomic.Int32
+
+	mu      sync.Mutex
+	adjusts = map[string]func(int64) int64{}
+	errs    = map[string]func(int64) error{}
+)
+
+// Active reports whether any hook is armed (one atomic load).
+func Active() bool { return armed.Load() != 0 }
+
+// ArmAdjust installs a value-adjusting hook at site and returns its
+// disarm closure. The hook may panic (panic-injection sites).
+func ArmAdjust(site string, fn func(int64) int64) (disarm func()) {
+	mu.Lock()
+	adjusts[site] = fn
+	mu.Unlock()
+	armed.Add(1)
+	return func() {
+		mu.Lock()
+		delete(adjusts, site)
+		mu.Unlock()
+		armed.Add(-1)
+	}
+}
+
+// ArmErr installs an error-returning hook at site and returns its
+// disarm closure.
+func ArmErr(site string, fn func(int64) error) (disarm func()) {
+	mu.Lock()
+	errs[site] = fn
+	mu.Unlock()
+	armed.Add(1)
+	return func() {
+		mu.Lock()
+		delete(errs, site)
+		mu.Unlock()
+		armed.Add(-1)
+	}
+}
+
+// DisarmAll removes every installed hook. Primarily for tests arming
+// hooks through ArmSpec, which returns no individual disarm closures.
+func DisarmAll() {
+	mu.Lock()
+	n := len(adjusts) + len(errs)
+	adjusts = map[string]func(int64) int64{}
+	errs = map[string]func(int64) error{}
+	mu.Unlock()
+	armed.Add(-int32(n))
+}
+
+// Adjust passes v through the site's hook, or returns it unchanged when
+// none is armed. Callers should guard with Active() to keep the
+// disarmed path to a single atomic load.
+func Adjust(site string, v int64) int64 {
+	if armed.Load() == 0 {
+		return v
+	}
+	mu.Lock()
+	fn := adjusts[site]
+	mu.Unlock()
+	if fn == nil {
+		return v
+	}
+	return fn(v)
+}
+
+// FireErr returns the site's injected error for v, or nil.
+func FireErr(site string, v int64) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	fn := errs[site]
+	mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(v)
+}
+
+// InjectedError is the error ArmSpec's point-err hook returns. It
+// reports Temporary() true, so the runner's transient classification
+// retries it.
+type InjectedError struct {
+	Site  string
+	Point int64
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faults: injected transient error at %s (point %d)", e.Site, e.Point)
+}
+
+// Temporary marks the injected failure retryable.
+func (e *InjectedError) Temporary() bool { return true }
+
+// ArmSpec arms hooks from a comma-separated CLI spec (the chopim
+// -inject flag). Supported forms:
+//
+//	panic-point=K     panic when sweep point K runs
+//	point-err=K:N     fail point K with a transient error N times
+//	stuck-horizon=C   report Never as the wake bound once the bound
+//	                  reaches cycle C (livelock injection)
+//
+// Hooks armed through ArmSpec stay armed for the process lifetime.
+func ArmSpec(spec string) error {
+	for _, one := range strings.Split(spec, ",") {
+		one = strings.TrimSpace(one)
+		if one == "" {
+			continue
+		}
+		name, arg, ok := strings.Cut(one, "=")
+		if !ok {
+			return fmt.Errorf("faults: spec %q missing '='", one)
+		}
+		switch name {
+		case "panic-point":
+			k, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil {
+				return fmt.Errorf("faults: panic-point: %v", err)
+			}
+			ArmAdjust(RunnerPoint, func(v int64) int64 {
+				if v == k {
+					panic(fmt.Sprintf("faults: injected panic at point %d", k))
+				}
+				return v
+			})
+		case "point-err":
+			ks, ns, ok := strings.Cut(arg, ":")
+			if !ok {
+				ns = "1"
+				ks = arg
+			}
+			k, err := strconv.ParseInt(ks, 10, 64)
+			if err != nil {
+				return fmt.Errorf("faults: point-err: %v", err)
+			}
+			n, err := strconv.ParseInt(ns, 10, 64)
+			if err != nil {
+				return fmt.Errorf("faults: point-err: %v", err)
+			}
+			var left atomic.Int64
+			left.Store(n)
+			ArmErr(RunnerPointErr, func(v int64) error {
+				if v == k && left.Add(-1) >= 0 {
+					return &InjectedError{Site: RunnerPointErr, Point: v}
+				}
+				return nil
+			})
+		case "stuck-horizon":
+			c, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil {
+				return fmt.Errorf("faults: stuck-horizon: %v", err)
+			}
+			ArmAdjust(SimNextEvent, func(v int64) int64 {
+				if v >= c {
+					return dram.Never
+				}
+				return v
+			})
+		default:
+			return fmt.Errorf("faults: unknown injection %q (want panic-point, point-err, stuck-horizon)", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+
+	"chopim/internal/dram"
+)
+
+func TestDisarmedIsInert(t *testing.T) {
+	if Active() {
+		t.Fatal("registry reports armed with no hooks installed")
+	}
+	if got := Adjust(SimNextEvent, 42); got != 42 {
+		t.Fatalf("disarmed Adjust changed value: got %d", got)
+	}
+	if err := FireErr(RunnerPointErr, 0); err != nil {
+		t.Fatalf("disarmed FireErr returned %v", err)
+	}
+}
+
+func TestArmAdjustAndDisarm(t *testing.T) {
+	disarm := ArmAdjust(SimNextEvent, func(v int64) int64 { return v + 1 })
+	if !Active() {
+		t.Fatal("registry not active after arming")
+	}
+	if got := Adjust(SimNextEvent, 10); got != 11 {
+		t.Fatalf("armed Adjust: got %d, want 11", got)
+	}
+	// Other sites are unaffected.
+	if got := Adjust(RunnerPoint, 10); got != 10 {
+		t.Fatalf("unrelated site adjusted: got %d", got)
+	}
+	disarm()
+	if Active() {
+		t.Fatal("registry still active after disarm")
+	}
+	if got := Adjust(SimNextEvent, 10); got != 10 {
+		t.Fatalf("disarmed Adjust still firing: got %d", got)
+	}
+}
+
+func TestArmErrAndDisarm(t *testing.T) {
+	want := errors.New("boom")
+	disarm := ArmErr(RunnerPointErr, func(v int64) error {
+		if v == 3 {
+			return want
+		}
+		return nil
+	})
+	defer disarm()
+	if err := FireErr(RunnerPointErr, 2); err != nil {
+		t.Fatalf("unmatched point fired: %v", err)
+	}
+	if err := FireErr(RunnerPointErr, 3); err != want {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+}
+
+func TestInjectedErrorIsTemporary(t *testing.T) {
+	err := error(&InjectedError{Site: RunnerPointErr, Point: 7})
+	var tmp interface{ Temporary() bool }
+	if !errors.As(err, &tmp) || !tmp.Temporary() {
+		t.Fatal("InjectedError must advertise Temporary() true")
+	}
+}
+
+func TestArmSpecPanicPoint(t *testing.T) {
+	if err := ArmSpec("panic-point=2"); err != nil {
+		t.Fatal(err)
+	}
+	defer drainHooks(t)
+	if got := Adjust(RunnerPoint, 1); got != 1 {
+		t.Fatalf("non-target point adjusted: %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic-point hook did not panic at its target")
+		}
+	}()
+	Adjust(RunnerPoint, 2)
+}
+
+func TestArmSpecPointErrBudget(t *testing.T) {
+	if err := ArmSpec("point-err=1:2"); err != nil {
+		t.Fatal(err)
+	}
+	defer drainHooks(t)
+	if err := FireErr(RunnerPointErr, 0); err != nil {
+		t.Fatalf("non-target point errored: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		var ie *InjectedError
+		if err := FireErr(RunnerPointErr, 1); !errors.As(err, &ie) {
+			t.Fatalf("attempt %d: got %v, want InjectedError", i, err)
+		}
+	}
+	// The budget of 2 is spent; the point now succeeds (a transient
+	// fault that a retry survives).
+	if err := FireErr(RunnerPointErr, 1); err != nil {
+		t.Fatalf("exhausted budget still firing: %v", err)
+	}
+}
+
+func TestArmSpecStuckHorizon(t *testing.T) {
+	if err := ArmSpec("stuck-horizon=1000"); err != nil {
+		t.Fatal(err)
+	}
+	defer drainHooks(t)
+	if got := Adjust(SimNextEvent, 500); got != 500 {
+		t.Fatalf("below threshold adjusted: %d", got)
+	}
+	if got := Adjust(SimNextEvent, 1000); got != dram.Never {
+		t.Fatalf("at threshold: got %d, want Never", got)
+	}
+}
+
+func TestArmSpecRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{"panic-point", "panic-point=x", "point-err=a:b", "stuck-horizon=", "nonsense=1"} {
+		if err := ArmSpec(spec); err == nil {
+			t.Errorf("spec %q accepted", spec)
+			drainHooks(t)
+		}
+	}
+}
+
+// drainHooks removes everything ArmSpec installed (it returns no disarm
+// closures — CLI hooks live for the process) so tests stay independent.
+func drainHooks(t *testing.T) {
+	t.Helper()
+	DisarmAll()
+	if Active() {
+		t.Fatal("registry still armed after drain")
+	}
+}

@@ -1,0 +1,252 @@
+package mc
+
+import (
+	"fmt"
+
+	"chopim/internal/dram"
+)
+
+// Opt-in structural and conservation checks behind sim's
+// Config.CheckInvariants. Everything here is cold-path: it runs at
+// commit barriers when armed and never during normal scheduling, so it
+// may allocate scratch freely.
+
+// Validate rejects controller configurations the scheduler cannot run
+// with. User-reachable (sweep points carry an mc.Config), so errors,
+// not panics.
+func (cfg Config) Validate() error {
+	if cfg.ReadQueue <= 0 || cfg.WriteQueue <= 0 {
+		return fmt.Errorf("mc: queue sizes must be positive (ReadQueue=%d WriteQueue=%d)",
+			cfg.ReadQueue, cfg.WriteQueue)
+	}
+	if cfg.DrainLow < 0 || cfg.DrainHigh <= cfg.DrainLow || cfg.DrainHigh > cfg.WriteQueue {
+		return fmt.Errorf("mc: drain watermarks must satisfy 0 <= DrainLow < DrainHigh <= WriteQueue (DrainLow=%d DrainHigh=%d WriteQueue=%d)",
+			cfg.DrainLow, cfg.DrainHigh, cfg.WriteQueue)
+	}
+	return nil
+}
+
+// OverflowLen returns the write-overflow buffer's occupancy (writebacks
+// accepted beyond the write queue, not yet drained into it).
+func (c *Controller) OverflowLen() int { return c.overflow.Len() }
+
+// CheckInvariants validates the controller's internal consistency: the
+// arrival lists against the occupancy counters and per-bank buckets,
+// the dense scheduling cache against the occupied set, calendar
+// membership (every occupied bank in exactly one region, bitmap in sync
+// with slot heads, keys inside their region's range), and — for banks
+// whose rank stamp is current — calendar lower-bound soundness against
+// a fresh rescan of the bank's candidates. Returns the first violation
+// found, nil when consistent.
+func (c *Controller) CheckInvariants() error {
+	if err := c.checkQueue(&c.rq, "rq", c.cfg.ReadQueue, dram.CmdRD); err != nil {
+		return err
+	}
+	return c.checkQueue(&c.wq, "wq", c.cfg.WriteQueue, dram.CmdWR)
+}
+
+func (c *Controller) checkQueue(q *reqQueue, name string, capacity int, cmd dram.Command) error {
+	if q.n > capacity {
+		return fmt.Errorf("%s occupancy %d exceeds capacity %d", name, q.n, capacity)
+	}
+
+	// Arrival list: length, link symmetry, FR-FCFS age order, and the
+	// per-group / per-bank tallies every O(1) hook reads.
+	perBank := make(map[int32]int)
+	perGroup := make(map[int32]int)
+	count := 0
+	lastSeq := int64(-1)
+	var prev *Request
+	for r := q.head; r != nil; r = r.qnext {
+		if r.qprev != prev {
+			return fmt.Errorf("%s arrival list: broken qprev link at position %d", name, count)
+		}
+		if r.seq <= lastSeq {
+			return fmt.Errorf("%s arrival list: seq %d not increasing at position %d", name, r.seq, count)
+		}
+		lastSeq = r.seq
+		wantKey := int32((r.DAddr.Channel*c.nrank+r.DAddr.Rank)*c.bpr + r.DAddr.GlobalBank(c.mem.Geom))
+		if r.bankKey != wantKey {
+			return fmt.Errorf("%s request seq %d: bankKey %d != decoded %d", name, r.seq, r.bankKey, wantKey)
+		}
+		perBank[r.bankKey]++
+		perGroup[r.bankKey>>q.shift]++
+		prev = r
+		count++
+		if count > q.n+1 {
+			return fmt.Errorf("%s arrival list longer than occupancy %d (cycle?)", name, q.n)
+		}
+	}
+	if count != q.n {
+		return fmt.Errorf("%s arrival list holds %d requests, occupancy counter says %d", name, count, q.n)
+	}
+	if q.tail != prev {
+		return fmt.Errorf("%s arrival list tail does not match last element", name)
+	}
+	for g, n := range q.rankN {
+		if n != perGroup[int32(g)] {
+			return fmt.Errorf("%s rankN[%d]=%d but arrival list holds %d for the group", name, g, n, perGroup[int32(g)])
+		}
+	}
+
+	// Occupied set: occ/occPos bijection, dense sched, bucket lists
+	// consistent with the arrival tallies.
+	if len(q.sched) != len(q.occ) {
+		return fmt.Errorf("%s sched length %d != occupied banks %d", name, len(q.sched), len(q.occ))
+	}
+	for i, bk := range q.occ {
+		if q.occPos[bk] != int32(i) {
+			return fmt.Errorf("%s occPos[%d]=%d, expected %d", name, bk, q.occPos[bk], i)
+		}
+		bl := &q.banks[bk]
+		if bl.n == 0 {
+			return fmt.Errorf("%s bank %d listed occupied but bucket is empty", name, bk)
+		}
+		if bl.n != perBank[bk] {
+			return fmt.Errorf("%s bank %d bucket count %d != arrival-list tally %d", name, bk, bl.n, perBank[bk])
+		}
+		bseq, bcount := int64(-1), 0
+		for r := bl.head; r != nil; r = r.bnext {
+			if r.bankKey != bk {
+				return fmt.Errorf("%s bank %d bucket holds request with bankKey %d", name, bk, r.bankKey)
+			}
+			if r.seq <= bseq {
+				return fmt.Errorf("%s bank %d bucket out of age order at seq %d", name, bk, r.seq)
+			}
+			bseq = r.seq
+			bcount++
+			if bcount > bl.n {
+				return fmt.Errorf("%s bank %d bucket longer than its count %d", name, bk, bl.n)
+			}
+		}
+		if bcount != bl.n {
+			return fmt.Errorf("%s bank %d bucket holds %d requests, count says %d", name, bk, bcount, bl.n)
+		}
+	}
+	for bk, n := range perBank {
+		if q.occPos[bk] < 0 && n > 0 {
+			return fmt.Errorf("%s bank %d holds %d requests but is not in the occupied set", name, bk, n)
+		}
+	}
+
+	// Calendar membership: every occupied bank in exactly one region,
+	// vacant banks absent, bitmap matching slot heads, keys inside their
+	// region's window.
+	seen := make(map[int32]string)
+	mark := func(bk int32, where string) error {
+		if w, dup := seen[bk]; dup {
+			return fmt.Errorf("%s bank %d on both %s and %s calendar regions", name, bk, w, where)
+		}
+		seen[bk] = where
+		return nil
+	}
+	for bk := q.calReady; bk != -1; bk = q.calNext[bk] {
+		if q.calWhere[bk] != calInReady {
+			return fmt.Errorf("%s bank %d on ready list with calWhere=%d", name, bk, q.calWhere[bk])
+		}
+		if err := mark(bk, "ready"); err != nil {
+			return err
+		}
+	}
+	for bk := q.calOver; bk != -1; bk = q.calNext[bk] {
+		if q.calWhere[bk] != calInOver {
+			return fmt.Errorf("%s bank %d on overflow list with calWhere=%d", name, bk, q.calWhere[bk])
+		}
+		if q.calKey[bk]-q.calBase < calSlots {
+			return fmt.Errorf("%s bank %d on overflow with in-window key %d (base %d)", name, bk, q.calKey[bk], q.calBase)
+		}
+		if err := mark(bk, "overflow"); err != nil {
+			return err
+		}
+	}
+	inRing := 0
+	for s := 0; s < calSlots; s++ {
+		headSet := q.calBkt[s] != -1
+		bitSet := q.calBits[s>>6]&(1<<uint(s&63)) != 0
+		if headSet != bitSet {
+			return fmt.Errorf("%s calendar slot %d: bitmap=%v but head set=%v", name, s, bitSet, headSet)
+		}
+		for bk := q.calBkt[s]; bk != -1; bk = q.calNext[bk] {
+			if q.calWhere[bk] != calBucket {
+				return fmt.Errorf("%s bank %d in ring slot %d with calWhere=%d", name, bk, s, q.calWhere[bk])
+			}
+			k := q.calKey[bk]
+			if k < q.calBase || k-q.calBase >= calSlots {
+				return fmt.Errorf("%s bank %d ring key %d outside window [%d,%d)", name, bk, k, q.calBase, q.calBase+calSlots)
+			}
+			if int(k)&calMask != s {
+				return fmt.Errorf("%s bank %d key %d filed in slot %d, expected %d", name, bk, k, s, int(k)&calMask)
+			}
+			if err := mark(bk, "ring"); err != nil {
+				return err
+			}
+			inRing++
+		}
+	}
+	if inRing != q.calCount {
+		return fmt.Errorf("%s calCount=%d but ring holds %d banks", name, q.calCount, inRing)
+	}
+	for _, bk := range q.occ {
+		if _, ok := seen[bk]; !ok {
+			return fmt.Errorf("%s occupied bank %d is on no calendar region", name, bk)
+		}
+	}
+	if len(seen) != len(q.occ) {
+		return fmt.Errorf("%s calendar tracks %d banks but %d are occupied", name, len(seen), len(q.occ))
+	}
+
+	// Lower-bound soundness, spot-checked against a fresh rescan of
+	// each bank's candidates. Only banks whose rank row stamp is
+	// current are bound: a pending resync (calSync runs it before any
+	// decision) may legitimately leave a stale-high key behind. Ready
+	// banks carry no key contract (the scan revalidates them), and the
+	// rescan paths (cross-channel harnesses, reference scheduler) never
+	// consult keys at all.
+	if c.cross || c.refSched {
+		return nil
+	}
+	for _, bk := range q.occ {
+		if q.calWhere[bk] != calBucket && q.calWhere[bk] != calInOver {
+			continue
+		}
+		rank := int(bk)/c.bpr - c.channel*c.nrank
+		if q.calStamp[rank] != c.mem.RowStamp(c.channel, rank) {
+			continue
+		}
+		if oracle := c.bankOracle(q, bk, cmd); q.calKey[bk] > oracle {
+			return fmt.Errorf("%s bank %d calendar key %d exceeds rescan-oracle ready cycle %d (lower bound violated)",
+				name, bk, q.calKey[bk], oracle)
+		}
+	}
+	return nil
+}
+
+// bankOracle recomputes the bank's earliest candidate-ready cycle the
+// way the rescan oracle would — a fresh bucket scan against fresh
+// horizons, min(max(p1 column ready, channel bus), p2 row-command
+// ready) — without touching the cached entry.
+func (c *Controller) bankOracle(q *reqQueue, bk int32, cmd dram.Command) int64 {
+	flat := int(bk) % c.bpr
+	rank := int(bk)/c.bpr - c.channel*c.nrank
+	row, open, readyACT, readyPRE, readyRD, readyWR := c.mem.BankSched(
+		c.channel, rank, flat/c.bpg, flat)
+	col := readyRD
+	if cmd == dram.CmdWR {
+		col = readyWR
+	}
+	bl := &q.banks[bk]
+	k := dram.Never
+	if !open {
+		return readyACT
+	}
+	for r := bl.head; r != nil; r = r.bnext {
+		if r.DAddr.Row == row {
+			k = max(col, c.mem.ExtColReady(c.channel, cmd, rank))
+			break
+		}
+	}
+	if bl.head.DAddr.Row != row && readyPRE < k {
+		k = readyPRE
+	}
+	return k
+}

@@ -15,6 +15,7 @@ import (
 	"chopim/internal/cache"
 	"chopim/internal/cpu"
 	"chopim/internal/dram"
+	"chopim/internal/faults"
 	"chopim/internal/mc"
 	"chopim/internal/nda"
 	"chopim/internal/ndart"
@@ -90,6 +91,33 @@ type Config struct {
 	ProfileDomains bool
 
 	Seed int64
+
+	// CheckInvariants validates cross-layer conservation invariants at
+	// every commit-phase barrier (MSHR accounting vs the LLC pending
+	// table, controller queue occupancy vs bank buckets vs calendar
+	// membership, calendar lower-bound soundness against the rescan
+	// oracle, mailboxes drained empty). A violation panics with an
+	// *InvariantError — corrupted state is not recoverable — which the
+	// experiment runner's per-point recovery quarantines. Zero cost when
+	// off: the commit path pays one bool check per tick.
+	CheckInvariants bool
+
+	// WatchdogWindow arms the forward-progress watchdog on the fast
+	// path: if this many simulated cycles elapse across executed ticks
+	// with no retirement, command issue, or NDA progress while work is
+	// pending, StepFast returns a LivelockError with a diagnostic dump.
+	// 0 disables the watchdog (the Never-with-pending-work detector is
+	// always on — it costs nothing).
+	WatchdogWindow int64
+
+	// MaxCycles, when positive, is an absolute DRAM-cycle deadline:
+	// StepFast returns a DeadlineError once Now() reaches it, leaving
+	// all counters readable for partial statistics.
+	MaxCycles int64
+
+	// MaxWallClock, when positive, bounds the run's host wall-clock
+	// time; checked every few hundred wakes (one time.Now per check).
+	MaxWallClock time.Duration
 }
 
 // PhaseSpans is the domain-phase profiling result (Config.
@@ -227,6 +255,10 @@ type System struct {
 	// set (nil otherwise; see PhaseSpans).
 	prof *PhaseSpans
 
+	// robust holds the watchdog/deadline bookkeeping (robust.go); not
+	// part of checkpointed state.
+	robust robustState
+
 	measStartDRAM int64
 	measStartCPU  int64
 	retiredAtMeas []int64
@@ -250,22 +282,39 @@ func (d *domain) push(fn func(int64), at int64) {
 	d.outbox = append(d.outbox, doneEv{fn: fn, at: at})
 }
 
-// New builds and wires a system.
+// New builds and wires a system. Invalid user-reachable configuration
+// (geometry, timing, controller queues, partition reservation) is
+// returned as an error, not a panic: every figure point flows through
+// here, and a sweep must be able to reject a bad point without dying.
 func New(cfg Config) (*System, error) {
-	base := addrmap.NewSkylakeLike(cfg.Geom)
+	base, err := addrmap.NewSkylakeLikeChecked(cfg.Geom)
+	if err != nil {
+		return nil, fmt.Errorf("sim: invalid config: %w", err)
+	}
 	var mapper addrmap.Mapper = base
 	if cfg.Partitioned {
 		rb := cfg.ReservedBanks
 		if rb <= 0 {
 			rb = 1
 		}
-		mapper = addrmap.NewPartitioned(base, rb)
+		part, err := addrmap.NewPartitionedChecked(base, rb)
+		if err != nil {
+			return nil, fmt.Errorf("sim: invalid config: %w", err)
+		}
+		mapper = part
+	}
+	if err := cfg.MC.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: invalid config: %w", err)
+	}
+	mem, err := dram.NewChecked(cfg.Geom, cfg.Timing)
+	if err != nil {
+		return nil, fmt.Errorf("sim: invalid config: %w", err)
 	}
 	os, err := osmem.NewOS(mapper)
 	if err != nil {
 		return nil, err
 	}
-	s := &System{Cfg: cfg, Mem: dram.New(cfg.Geom, cfg.Timing), Mapper: mapper, OS: os}
+	s := &System{Cfg: cfg, Mem: mem, Mapper: mapper, OS: os}
 
 	for ch := 0; ch < cfg.Geom.Channels; ch++ {
 		s.MCs = append(s.MCs, mc.NewController(cfg.MC, s.Mem, mapper, ch))
@@ -280,7 +329,11 @@ func New(cfg Config) (*System, error) {
 				return nil, err
 			}
 		}
-		s.Hier = cache.NewHierarchy(cache.DefaultHierarchyConfig(len(profs)), s.Router, s)
+		hcfg := cache.DefaultHierarchyConfig(len(profs))
+		if err := hcfg.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: invalid config: %w", err)
+		}
+		s.Hier = cache.NewHierarchy(hcfg, s.Router, s)
 		for i, p := range profs {
 			fp := p.Footprint
 			region, err := os.AllocHost(fp)
@@ -407,6 +460,10 @@ func (s *System) Tick() {
 // produce new mailbox entries (only a controller or NDA tick does), but
 // the index loop tolerates growth defensively.
 func (s *System) commit() {
+	if s.Cfg.CheckInvariants {
+		s.commitChecked()
+		return
+	}
 	for d := range s.doms {
 		dom := &s.doms[d]
 		for i := 0; i < len(dom.outbox); i++ {
@@ -744,7 +801,20 @@ func (s *System) tickDue() {
 // executes one wake-dispatched tick there if the event lies before
 // limit. It always makes progress; state after reaching any cycle is
 // bit-identical to ticking every cycle.
-func (s *System) StepFast(limit int64) {
+//
+// A non-nil return reports a robustness failure — a LivelockError from
+// the Never-with-pending-work detector or the forward-progress watchdog
+// (Config.WatchdogWindow), or a DeadlineError from the per-run
+// deadlines (Config.MaxCycles, Config.MaxWallClock) — and is sticky:
+// every subsequent call returns the same error. On the livelock path
+// the clock still advances to limit (the wake bound was wrong, so the
+// only exact continuation is the idle skip the bound claims), keeping
+// error-ignoring drivers terminating with unchanged state; on the
+// deadline path the clock does not advance past the deadline.
+func (s *System) StepFast(limit int64) error {
+	if s.robust.err != nil {
+		return s.robust.err
+	}
 	s.NDA.SetFastForward(true)
 	if !s.execInit {
 		s.execInit = true
@@ -756,7 +826,25 @@ func (s *System) StepFast(limit int64) {
 			s.exec = newDomainExec(s, nw)
 		}
 	}
-	if next := s.nextEventFast(); next > s.dramCycle {
+	if s.Cfg.MaxCycles > 0 || s.Cfg.MaxWallClock > 0 {
+		if err := s.DeadlineExceeded(); err != nil {
+			return err
+		}
+	}
+	next := s.nextEventFast()
+	if faults.Active() {
+		next = faults.Adjust(faults.SimNextEvent, next)
+	}
+	if next >= dram.Never {
+		if pend, what := s.workPending(); pend {
+			s.fail(&LivelockError{
+				Cycle:  s.dramCycle,
+				Reason: "NextEvent reports Never while " + what,
+				Dump:   s.DiagDump(),
+			})
+		}
+	}
+	if next > s.dramCycle {
 		if next > limit {
 			next = limit
 		}
@@ -764,15 +852,26 @@ func (s *System) StepFast(limit int64) {
 	}
 	if s.dramCycle < limit {
 		s.tickDue()
+		if s.Cfg.WatchdogWindow > 0 {
+			if err := s.watchdog(); err != nil {
+				return err
+			}
+		}
 	}
+	return s.robust.err
 }
 
 // RunFast advances n DRAM cycles, jumping the clock over idle windows.
-func (s *System) RunFast(n int64) {
+// It stops early and returns the failure when a watchdog or deadline
+// fires (see StepFast).
+func (s *System) RunFast(n int64) error {
 	end := s.dramCycle + n
 	for s.dramCycle < end {
-		s.StepFast(end)
+		if err := s.StepFast(end); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Await runs until every handle completes, up to maxCycles additional
@@ -792,7 +891,9 @@ func (s *System) Await(maxCycles int64, hs ...*ndart.Handle) error {
 		if done && !s.RT.CopierBusy() {
 			return nil
 		}
-		s.StepFast(deadline)
+		if err := s.StepFast(deadline); err != nil {
+			return err
+		}
 	}
 	return fmt.Errorf("sim: Await timed out after %d cycles", maxCycles)
 }
