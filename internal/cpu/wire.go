@@ -1,0 +1,73 @@
+// On-disk codec for CoreState. ROB slots serialize by position —
+// restore reattaches completion closures per slot (they capture
+// &rob[i]), so slot identity is the durable name of an in-flight load.
+package cpu
+
+import "encoding/json"
+
+type robWire struct {
+	DoneAt  int64
+	Pending bool
+	IsLoad  bool
+	IsStore bool
+}
+
+type coreWire struct {
+	Rob     []robWire
+	Head, N int
+	Stores  int
+	Loads   int
+
+	Stalled  Instr
+	HasStall bool
+
+	Look   []Instr
+	LookH  int
+	LookN  int
+	Pend   int
+	PendAt int64
+
+	Blocked    bool
+	ProbeStall bool
+	Wake       int64
+	Dirty      bool
+
+	Retired int64
+	Cycles  int64
+}
+
+// MarshalJSON encodes the snapshot for the durable checkpoint file.
+func (st *CoreState) MarshalJSON() ([]byte, error) {
+	w := coreWire{
+		Head: st.head, N: st.n, Stores: st.stores, Loads: st.loads,
+		Stalled: st.stalled, HasStall: st.hasStall,
+		Look: st.look, LookH: st.lookH, LookN: st.lookN,
+		Pend: st.pend, PendAt: st.pendAt,
+		Blocked: st.blocked, ProbeStall: st.probeStall, Wake: st.wake, Dirty: st.dirty,
+		Retired: st.retired, Cycles: st.cycles,
+	}
+	w.Rob = make([]robWire, len(st.rob))
+	for i, e := range st.rob {
+		w.Rob[i] = robWire{DoneAt: e.doneAt, Pending: e.pending, IsLoad: e.isLoad, IsStore: e.isStore}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON rebuilds the snapshot written by MarshalJSON.
+func (st *CoreState) UnmarshalJSON(b []byte) error {
+	var w coreWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	st.rob = make([]robEntry, len(w.Rob))
+	for i, e := range w.Rob {
+		st.rob[i] = robEntry{doneAt: e.DoneAt, pending: e.Pending, isLoad: e.IsLoad, isStore: e.IsStore}
+	}
+	st.head, st.n, st.stores, st.loads = w.Head, w.N, w.Stores, w.Loads
+	st.stalled, st.hasStall = w.Stalled, w.HasStall
+	st.look, st.lookH, st.lookN = w.Look, w.LookH, w.LookN
+	st.pend, st.pendAt = w.Pend, w.PendAt
+	st.blocked, st.probeStall, st.wake, st.dirty = w.Blocked, w.ProbeStall, w.Wake, w.Dirty
+	st.retired, st.cycles = w.Retired, w.Cycles
+	return nil
+}

@@ -1,0 +1,138 @@
+// On-disk codec for MemState. The snapshot types are deliberately
+// opaque, so the durable checkpoint file (sim.WriteCheckpoint) encodes
+// them through exported mirror structs: every field of the in-memory
+// snapshot round-trips, and a decoded state feeds the ordinary Restore
+// path unchanged.
+package dram
+
+import "encoding/json"
+
+type bankWire struct {
+	Open bool
+	Row  int
+
+	NextACT, NextPRE, NextRD, NextWR int64
+
+	HzStamp                              int64
+	ReadyACT, ReadyPRE, ReadyRD, ReadyWR int64
+}
+
+type bgWire struct {
+	NextACT, NextRD, NextWR int64
+}
+
+type rankWire struct {
+	Banks []bankWire
+	BGs   []bgWire
+
+	NextACT, NextRD, NextWR int64
+
+	FAW    []int64
+	FAWIdx int
+
+	Stamp, RowStamp             int64
+	DataBusyUntil, RefreshUntil int64
+}
+
+type chanWire struct {
+	Ranks []rankWire
+
+	LastColValid bool
+	LastColRead  bool
+	LastColRank  int
+	LastColCycle int64
+
+	DataBusyUntil int64
+	NextRefresh   int64
+
+	ColStamp, ExtStamp                         int64
+	ExtRDSame, ExtRDDiff, ExtWRSame, ExtWRDiff int64
+}
+
+type memWire struct {
+	Channels []chanWire
+	Cnts     []CmdCounts
+	ChVer    []uint64
+}
+
+// MarshalJSON encodes the snapshot for the durable checkpoint file.
+func (st *MemState) MarshalJSON() ([]byte, error) {
+	w := memWire{Cnts: st.cnts, ChVer: st.chVer}
+	for c := range st.channels {
+		ch := &st.channels[c]
+		cw := chanWire{
+			LastColValid: ch.lastColValid, LastColRead: ch.lastColRead,
+			LastColRank: ch.lastColRank, LastColCycle: ch.lastColCycle,
+			DataBusyUntil: ch.dataBusyUntil, NextRefresh: ch.nextRefresh,
+			ColStamp: ch.colStamp, ExtStamp: ch.extStamp,
+			ExtRDSame: ch.extRDSame, ExtRDDiff: ch.extRDDiff,
+			ExtWRSame: ch.extWRSame, ExtWRDiff: ch.extWRDiff,
+		}
+		for r := range ch.ranks {
+			rk := &ch.ranks[r]
+			rw := rankWire{
+				NextACT: rk.nextACT, NextRD: rk.nextRD, NextWR: rk.nextWR,
+				FAW: rk.faw, FAWIdx: rk.fawIdx,
+				Stamp: rk.stamp, RowStamp: rk.rowStamp,
+				DataBusyUntil: rk.dataBusyUntil, RefreshUntil: rk.refreshUntil,
+			}
+			for _, b := range rk.banks {
+				rw.Banks = append(rw.Banks, bankWire{
+					Open: b.open, Row: b.row,
+					NextACT: b.nextACT, NextPRE: b.nextPRE, NextRD: b.nextRD, NextWR: b.nextWR,
+					HzStamp:  b.hzStamp,
+					ReadyACT: b.readyACT, ReadyPRE: b.readyPRE, ReadyRD: b.readyRD, ReadyWR: b.readyWR,
+				})
+			}
+			for _, g := range rk.bgs {
+				rw.BGs = append(rw.BGs, bgWire{NextACT: g.nextACT, NextRD: g.nextRD, NextWR: g.nextWR})
+			}
+			cw.Ranks = append(cw.Ranks, rw)
+		}
+		w.Channels = append(w.Channels, cw)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON rebuilds the snapshot written by MarshalJSON.
+func (st *MemState) UnmarshalJSON(b []byte) error {
+	var w memWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	st.cnts, st.chVer = w.Cnts, w.ChVer
+	st.channels = make([]chanState, len(w.Channels))
+	for c := range w.Channels {
+		cw := &w.Channels[c]
+		ch := &st.channels[c]
+		ch.lastColValid, ch.lastColRead = cw.LastColValid, cw.LastColRead
+		ch.lastColRank, ch.lastColCycle = cw.LastColRank, cw.LastColCycle
+		ch.dataBusyUntil, ch.nextRefresh = cw.DataBusyUntil, cw.NextRefresh
+		ch.colStamp, ch.extStamp = cw.ColStamp, cw.ExtStamp
+		ch.extRDSame, ch.extRDDiff = cw.ExtRDSame, cw.ExtRDDiff
+		ch.extWRSame, ch.extWRDiff = cw.ExtWRSame, cw.ExtWRDiff
+		ch.ranks = make([]rankState, len(cw.Ranks))
+		for r := range cw.Ranks {
+			rw := &cw.Ranks[r]
+			rk := &ch.ranks[r]
+			rk.nextACT, rk.nextRD, rk.nextWR = rw.NextACT, rw.NextRD, rw.NextWR
+			rk.faw, rk.fawIdx = rw.FAW, rw.FAWIdx
+			rk.stamp, rk.rowStamp = rw.Stamp, rw.RowStamp
+			rk.dataBusyUntil, rk.refreshUntil = rw.DataBusyUntil, rw.RefreshUntil
+			rk.banks = make([]bankState, len(rw.Banks))
+			for i, bw := range rw.Banks {
+				rk.banks[i] = bankState{
+					open: bw.Open, row: bw.Row,
+					nextACT: bw.NextACT, nextPRE: bw.NextPRE, nextRD: bw.NextRD, nextWR: bw.NextWR,
+					hzStamp:  bw.HzStamp,
+					readyACT: bw.ReadyACT, readyPRE: bw.ReadyPRE, readyRD: bw.ReadyRD, readyWR: bw.ReadyWR,
+				}
+			}
+			rk.bgs = make([]bgState, len(rw.BGs))
+			for i, gw := range rw.BGs {
+				rk.bgs[i] = bgState{nextACT: gw.NextACT, nextRD: gw.NextRD, nextWR: gw.NextWR}
+			}
+		}
+	}
+	return nil
+}

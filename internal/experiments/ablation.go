@@ -46,7 +46,8 @@ func AblationLayout(opt Options) ([]AblationRow, error) {
 			return AblationRow{}, err
 		}
 		it := func() (*ndart.Handle, error) { return s.RT.Dot(x, y) }
-		res, err := measureConcurrent(s, it, opt)
+		res, err := measureConcurrent(s, it,
+			opt.withTag(fmt.Sprintf("ablate-layout-aligned=%v", aligned)))
 		if err != nil {
 			return AblationRow{}, err
 		}
@@ -79,7 +80,8 @@ func AblationReservedBanks(opt Options) ([]AblationRow, error) {
 		if err != nil {
 			return AblationRow{}, err
 		}
-		res, err := measureConcurrent(s, app.Iterate, opt)
+		res, err := measureConcurrent(s, app.Iterate,
+			opt.withTag(fmt.Sprintf("ablate-rb-%d", rb)))
 		if err != nil {
 			return AblationRow{}, err
 		}
@@ -106,7 +108,8 @@ func AblationWriteBuffer(opt Options) ([]AblationRow, error) {
 		if err != nil {
 			return AblationRow{}, err
 		}
-		res, err := measureConcurrent(s, app.Iterate, opt)
+		res, err := measureConcurrent(s, app.Iterate,
+			opt.withTag(fmt.Sprintf("ablate-wb-%d", caps[i])))
 		if err != nil {
 			return AblationRow{}, err
 		}
@@ -135,7 +138,8 @@ func AblationLaunchModel(opt Options) ([]AblationRow, error) {
 		if err != nil {
 			return AblationRow{}, err
 		}
-		res, err := measureConcurrent(s, app.Iterate, opt)
+		res, err := measureConcurrent(s, app.Iterate,
+			opt.withTag(fmt.Sprintf("ablate-launch-model=%v", model)))
 		if err != nil {
 			return AblationRow{}, err
 		}

@@ -18,6 +18,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"chopim/internal/atomicio"
 )
 
 // cacheSchema names the simulation-model version baked into every cache
@@ -134,26 +136,11 @@ func decodeCacheEntry[T any](key string, b []byte) (T, bool) {
 	return v, true
 }
 
-// writeFileAtomic writes b to path via a temp file and rename. Errors
-// are swallowed: the cache is an accelerator, never a correctness
-// dependency.
+// writeFileAtomic writes b to path through the shared atomic-replace
+// helper (temp file + fsync + rename). Errors are swallowed: the cache
+// is an accelerator, never a correctness dependency.
 func writeFileAtomic(path string, b []byte) {
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".cache-*")
-	if err != nil {
-		return
-	}
-	if _, err := tmp.Write(b); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return
-	}
-	tmp.Close()
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-	}
+	_ = atomicio.WriteFile(path, b)
 }
 
 // journalCtx is one figure's resume-journal state, created by figCached
@@ -340,4 +327,9 @@ func journalRecord[T any](jf *journalFile, i int, v T) {
 		return
 	}
 	jf.f.Write(append(line, '\n'))
+	// A SIGKILL must not lose a point the sweep believes is journaled:
+	// the crash-resume harness kills the process right after a
+	// checkpoint lands, and the journal's view has to be at least as
+	// fresh when it does.
+	jf.f.Sync()
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"chopim/internal/apps"
 	"chopim/internal/dram"
 	"chopim/internal/ndart"
@@ -56,7 +58,8 @@ func fig10Rows(opt Options) ([]Fig10Row, error) {
 		if err != nil {
 			return Fig10Row{}, err
 		}
-		res, err := measureConcurrent(s, app.Iterate, opt)
+		res, err := measureConcurrent(s, app.Iterate,
+			opt.withTag(fmt.Sprintf("fig10-r%d-n%d", p.ranks, p.n)))
 		if err != nil {
 			return Fig10Row{}, err
 		}

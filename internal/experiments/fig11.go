@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+
 	"chopim/internal/apps"
 	"chopim/internal/sim"
 	"chopim/internal/workload"
@@ -73,7 +75,8 @@ func fig11Mixes(opt Options, mixes []int) ([]Fig11Row, error) {
 			}
 			it = app.Iterate
 		}
-		return measureConcurrent(s, it, opt)
+		tag := fmt.Sprintf("fig11-%s-part=%v-%s", workload.MixName(p.mix), p.part, p.op)
+		return measureConcurrent(s, it, opt.withTag(tag))
 	})
 	if err != nil {
 		return nil, err

@@ -67,7 +67,8 @@ func fig12Rows(opt Options) ([]Fig12Row, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return measureConcurrent(s, app.Iterate, opt)
+		return measureConcurrent(s, app.Iterate,
+			opt.withTag("fig12-"+workload.MixName(pt.mix)+"-"+pt.p.label))
 	})
 	if err != nil {
 		return nil, err

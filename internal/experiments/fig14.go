@@ -61,7 +61,8 @@ func fig14Rows(opt Options) ([]Fig14Row, error) {
 		if err != nil {
 			return row, fmt.Errorf("fig14 %s: %w", p.wl, err)
 		}
-		res, err := measureConcurrent(s, it, opt)
+		res, err := measureConcurrent(s, it,
+			opt.withTag(fmt.Sprintf("fig14-chopim-r%d-%s", p.ranks, p.wl)))
 		if err != nil {
 			return row, err
 		}
@@ -75,7 +76,8 @@ func fig14Rows(opt Options) ([]Fig14Row, error) {
 		if err != nil {
 			return row, err
 		}
-		hres, err := measureConcurrent(hs, nil, opt)
+		hres, err := measureConcurrent(hs, nil,
+			opt.withTag(fmt.Sprintf("fig14-rp-host-r%d-%s", p.ranks, p.wl)))
 		if err != nil {
 			return row, err
 		}
@@ -92,7 +94,8 @@ func fig14Rows(opt Options) ([]Fig14Row, error) {
 		if err != nil {
 			return row, err
 		}
-		nres, err := measureConcurrent(nsys, nit, opt)
+		nres, err := measureConcurrent(nsys, nit,
+			opt.withTag(fmt.Sprintf("fig14-rp-nda-r%d-%s", p.ranks, p.wl)))
 		if err != nil {
 			return row, err
 		}

@@ -84,7 +84,7 @@ func hostStreamBandwidth(opt Options) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	res, err := measureConcurrent(s, nil, opt)
+	res, err := measureConcurrent(s, nil, opt.withTag("fig15-hostbw"))
 	if err != nil {
 		return 0, err
 	}

@@ -131,6 +131,13 @@ func runPoint[T any](opt Options, i int, job func(int) (T, error)) (T, error) {
 			statTimeouts.Add(1)
 			return zero, err
 		}
+		var ce *sim.CanceledError
+		if errors.As(err, &ce) {
+			// Cooperative cancel is deliberate, not a fault: count it,
+			// surface it, never retry (the flag is sticky).
+			statCanceled.Add(1)
+			return zero, err
+		}
 		if attempt < opt.PointRetries && isTransient(err) {
 			statRetries.Add(1)
 			time.Sleep(time.Duration(1<<uint(attempt)) * time.Millisecond)

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"errors"
 	"runtime"
 	"strings"
 	"sync"
@@ -49,6 +50,10 @@ type RunnerStats struct {
 	Retries     int64 // point attempts retried after a transient error
 	Timeouts    int64 // points that hit their deadline (Options.PointTimeout)
 	Quarantined int64 // points abandoned after a panic
+
+	Canceled     int64 // points cut by cooperative cancellation
+	CkptWrites   int64 // mid-point checkpoint files persisted
+	CkptRestores int64 // points resumed from a mid-point checkpoint
 }
 
 var (
@@ -83,8 +88,18 @@ func ReadRunnerStats() RunnerStats {
 		Retries:     statRetries.Load(),
 		Timeouts:    statTimeouts.Load(),
 		Quarantined: statQuarantined.Load(),
+
+		Canceled:     statCanceled.Load(),
+		CkptWrites:   statCkptWrites.Load(),
+		CkptRestores: statCkptRestores.Load(),
 	}
 }
+
+// ErrSweepCanceled reports that admission stopped before every point
+// ran. It always surfaces as the sweep's error — a drained sweep's
+// partial results must never be journaled as finished or cached as a
+// complete figure.
+var ErrSweepCanceled = errors.New("experiments: sweep canceled before all points ran")
 
 // sharded runs n independent jobs with the worker count opt implies and
 // returns the results in index order. Every attempt runs under panic
@@ -125,6 +140,9 @@ func sharded[T any](opt Options, n int, job func(i int) (T, error)) ([]T, error)
 	if workers == 1 || n <= 1 {
 		var fails []*PointError
 		for i := 0; i < n; i++ {
+			if opt.Cancel.AdmissionStopped() {
+				return results, ErrSweepCanceled
+			}
 			if err := runOne(i); err != nil {
 				if !opt.KeepGoing {
 					return nil, err
@@ -141,11 +159,21 @@ func sharded[T any](opt Options, n int, job func(i int) (T, error)) ([]T, error)
 	sem := make(chan struct{}, workers)
 	var wg sync.WaitGroup
 	var failed atomic.Bool
+	admissionStopped := false
 	for i := 0; i < n; i++ {
+		if opt.Cancel.AdmissionStopped() {
+			admissionStopped = true
+			break // drain: in-flight points finish, no new ones start
+		}
 		if !opt.KeepGoing && failed.Load() {
 			break // abort before queueing on a worker slot
 		}
 		sem <- struct{}{}
+		if opt.Cancel.AdmissionStopped() {
+			admissionStopped = true
+			<-sem
+			break
+		}
 		if !opt.KeepGoing && failed.Load() {
 			// The failure landed while this submission waited on the
 			// semaphore; release the slot and abort.
@@ -163,6 +191,9 @@ func sharded[T any](opt Options, n int, job func(i int) (T, error)) ([]T, error)
 	}
 	wg.Wait()
 	if opt.KeepGoing {
+		if admissionStopped {
+			return results, ErrSweepCanceled
+		}
 		var fails []*PointError
 		for i, err := range errs {
 			if err != nil {
@@ -178,6 +209,9 @@ func sharded[T any](opt Options, n int, job func(i int) (T, error)) ([]T, error)
 		if err != nil {
 			return nil, err
 		}
+	}
+	if admissionStopped {
+		return results, ErrSweepCanceled
 	}
 	return results, nil
 }
@@ -224,7 +258,9 @@ func ndaOnlyRows(opt Options, ops []string) ([]NDAOnlyRow, error) {
 		if err != nil {
 			return NDAOnlyRow{}, err
 		}
-		res, err := measureConcurrent(s, app.Iterate, opt)
+		// Every point of this sweep shares one config; the tag is the
+		// only thing telling their checkpoints apart.
+		res, err := measureConcurrent(s, app.Iterate, opt.withTag("ndaonly-"+ops[i]))
 		if err != nil {
 			return NDAOnlyRow{}, err
 		}

@@ -14,10 +14,12 @@ package faults
 
 import (
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 
 	"chopim/internal/dram"
 )
@@ -37,6 +39,15 @@ const (
 	// RunnerPointErr may return an error for a sweep point's index;
 	// returning a transient error exercises the retry path.
 	RunnerPointErr = "experiments.point-err"
+	// CkptWrite mutates a checkpoint file's bytes as they are written;
+	// truncating them simulates a torn write, flipping a bit simulates
+	// silent media corruption. Both must surface as a clean
+	// miss-and-recompute at resume time, never a half-restored system.
+	CkptWrite = "experiments.ckpt-write"
+	// CkptWritten fires with the count of completed checkpoint writes
+	// after each one lands; the die-after-ckpt spec SIGKILLs the process
+	// here, the crash-resume harness's injection point.
+	CkptWritten = "experiments.ckpt-written"
 )
 
 var (
@@ -47,6 +58,7 @@ var (
 	mu      sync.Mutex
 	adjusts = map[string]func(int64) int64{}
 	errs    = map[string]func(int64) error{}
+	mutates = map[string]func([]byte) []byte{}
 )
 
 // Active reports whether any hook is armed (one atomic load).
@@ -82,13 +94,30 @@ func ArmErr(site string, fn func(int64) error) (disarm func()) {
 	}
 }
 
+// ArmMutate installs a byte-mutating hook at site and returns its
+// disarm closure. The hook receives the bytes about to be written and
+// returns what actually lands on disk (truncated, bit-flipped, ...).
+func ArmMutate(site string, fn func([]byte) []byte) (disarm func()) {
+	mu.Lock()
+	mutates[site] = fn
+	mu.Unlock()
+	armed.Add(1)
+	return func() {
+		mu.Lock()
+		delete(mutates, site)
+		mu.Unlock()
+		armed.Add(-1)
+	}
+}
+
 // DisarmAll removes every installed hook. Primarily for tests arming
 // hooks through ArmSpec, which returns no individual disarm closures.
 func DisarmAll() {
 	mu.Lock()
-	n := len(adjusts) + len(errs)
+	n := len(adjusts) + len(errs) + len(mutates)
 	adjusts = map[string]func(int64) int64{}
 	errs = map[string]func(int64) error{}
+	mutates = map[string]func([]byte) []byte{}
 	mu.Unlock()
 	armed.Add(-int32(n))
 }
@@ -123,6 +152,22 @@ func FireErr(site string, v int64) error {
 	return fn(v)
 }
 
+// Mutate passes b through the site's hook, or returns it unchanged
+// when none is armed. Callers should guard with Active() to keep the
+// disarmed path to a single atomic load.
+func Mutate(site string, b []byte) []byte {
+	if armed.Load() == 0 {
+		return b
+	}
+	mu.Lock()
+	fn := mutates[site]
+	mu.Unlock()
+	if fn == nil {
+		return b
+	}
+	return fn(b)
+}
+
 // InjectedError is the error ArmSpec's point-err hook returns. It
 // reports Temporary() true, so the runner's transient classification
 // retries it.
@@ -145,6 +190,11 @@ func (e *InjectedError) Temporary() bool { return true }
 //	point-err=K:N     fail point K with a transient error N times
 //	stuck-horizon=C   report Never as the wake bound once the bound
 //	                  reaches cycle C (livelock injection)
+//	ckpt-torn=K       truncate the Kth checkpoint write (torn write)
+//	ckpt-badsum=K     flip a bit in the Kth checkpoint write (silent
+//	                  corruption; the digest trailer must catch it)
+//	die-after-ckpt=N  SIGKILL this process the moment the Nth
+//	                  checkpoint write completes (crash-resume harness)
 //
 // Hooks armed through ArmSpec stay armed for the process lifetime.
 func ArmSpec(spec string) error {
@@ -202,8 +252,48 @@ func ArmSpec(spec string) error {
 				}
 				return v
 			})
+		case "ckpt-torn":
+			k, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil {
+				return fmt.Errorf("faults: ckpt-torn: %v", err)
+			}
+			var seen atomic.Int64
+			ArmMutate(CkptWrite, func(b []byte) []byte {
+				if seen.Add(1) == k {
+					return b[:len(b)/2]
+				}
+				return b
+			})
+		case "ckpt-badsum":
+			k, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil {
+				return fmt.Errorf("faults: ckpt-badsum: %v", err)
+			}
+			var seen atomic.Int64
+			ArmMutate(CkptWrite, func(b []byte) []byte {
+				if seen.Add(1) == k && len(b) > 0 {
+					c := append([]byte(nil), b...)
+					c[len(c)/2] ^= 0x40
+					return c
+				}
+				return b
+			})
+		case "die-after-ckpt":
+			n, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil {
+				return fmt.Errorf("faults: die-after-ckpt: %v", err)
+			}
+			ArmAdjust(CkptWritten, func(v int64) int64 {
+				if v >= n {
+					// A real crash, not an exit: no deferred cleanup, no
+					// atexit flushes. The checkpoint that just landed is
+					// all a resume gets.
+					syscall.Kill(os.Getpid(), syscall.SIGKILL)
+				}
+				return v
+			})
 		default:
-			return fmt.Errorf("faults: unknown injection %q (want panic-point, point-err, stuck-horizon)", name)
+			return fmt.Errorf("faults: unknown injection %q (want panic-point, point-err, stuck-horizon, ckpt-torn, ckpt-badsum, die-after-ckpt)", name)
 		}
 	}
 	return nil

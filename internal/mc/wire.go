@@ -1,0 +1,95 @@
+// On-disk codec for ControllerState. Queue entries serialize as the
+// same durable identities the in-memory snapshot records — (write,
+// addr, tag) plus timing scalars — so a decoded state reattaches
+// completion closures through the identical resolve path.
+package mc
+
+import (
+	"encoding/json"
+
+	"chopim/internal/dram"
+	"chopim/internal/stats"
+)
+
+type reqWire struct {
+	Addr    uint64
+	DAddr   dram.Addr
+	Write   bool
+	Arrive  int64
+	Seq     int64
+	Tag     uint64
+	HasDone bool
+}
+
+type controllerWire struct {
+	RQ, WQ   []reqWire
+	Overflow []reqWire
+
+	Drain       bool
+	SeqGen      int64
+	Ver, QVer   uint64
+	IssuedRank  int
+	IssuedIsCol bool
+	Cross       bool
+
+	IdleHists []stats.IdleHist
+
+	ReadsIssued, WritesIssued int64
+	ActsIssued, PresIssued    int64
+	ReadLatencySum            int64
+	Drains, Refreshes         int64
+	NextRefresh               int64
+}
+
+func reqsToWire(reqs []reqState) []reqWire {
+	out := make([]reqWire, len(reqs))
+	for i, r := range reqs {
+		out[i] = reqWire{
+			Addr: r.addr, DAddr: r.daddr, Write: r.write,
+			Arrive: r.arrive, Seq: r.seq, Tag: r.tag, HasDone: r.hasDone,
+		}
+	}
+	return out
+}
+
+func reqsFromWire(ws []reqWire) []reqState {
+	out := make([]reqState, len(ws))
+	for i, w := range ws {
+		out[i] = reqState{
+			addr: w.Addr, daddr: w.DAddr, write: w.Write,
+			arrive: w.Arrive, seq: w.Seq, tag: w.Tag, hasDone: w.HasDone,
+		}
+	}
+	return out
+}
+
+// MarshalJSON encodes the snapshot for the durable checkpoint file.
+func (st *ControllerState) MarshalJSON() ([]byte, error) {
+	return json.Marshal(controllerWire{
+		RQ: reqsToWire(st.rq), WQ: reqsToWire(st.wq), Overflow: reqsToWire(st.overflow),
+		Drain: st.drain, SeqGen: st.seqGen, Ver: st.ver, QVer: st.qver,
+		IssuedRank: st.issuedRank, IssuedIsCol: st.issuedIsCol, Cross: st.cross,
+		IdleHists:   st.idleHists,
+		ReadsIssued: st.readsIssued, WritesIssued: st.writesIssued,
+		ActsIssued: st.actsIssued, PresIssued: st.presIssued,
+		ReadLatencySum: st.readLatencySum,
+		Drains:         st.drains, Refreshes: st.refreshes, NextRefresh: st.nextRefresh,
+	})
+}
+
+// UnmarshalJSON rebuilds the snapshot written by MarshalJSON.
+func (st *ControllerState) UnmarshalJSON(b []byte) error {
+	var w controllerWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	st.rq, st.wq, st.overflow = reqsFromWire(w.RQ), reqsFromWire(w.WQ), reqsFromWire(w.Overflow)
+	st.drain, st.seqGen, st.ver, st.qver = w.Drain, w.SeqGen, w.Ver, w.QVer
+	st.issuedRank, st.issuedIsCol, st.cross = w.IssuedRank, w.IssuedIsCol, w.Cross
+	st.idleHists = w.IdleHists
+	st.readsIssued, st.writesIssued = w.ReadsIssued, w.WritesIssued
+	st.actsIssued, st.presIssued = w.ActsIssued, w.PresIssued
+	st.readLatencySum = w.ReadLatencySum
+	st.drains, st.refreshes, st.nextRefresh = w.Drains, w.Refreshes, w.NextRefresh
+	return nil
+}

@@ -1,0 +1,101 @@
+// On-disk codec for EngineState. An in-flight op serializes as its
+// encoded blueprint tag plus progress cursors — the blueprint+cursor
+// replay identity the in-memory restore already rebuilds ops from — so
+// a decoded engine state feeds the ordinary Restore path unchanged.
+// Tags must already be table indices (the ndart SnapEncoder's
+// EncodeTag); a snapshot taken without tag encoding cannot be made
+// durable and encoding it reports an error.
+package nda
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"chopim/internal/dram"
+)
+
+type opWire struct {
+	Tag       int
+	Fetched   int
+	Emitted   int
+	Exhausted bool
+	PendingWr int
+	Pushed    dram.Addr
+	HasPushed bool
+}
+
+type wbWire struct {
+	Addr  dram.Addr
+	Owner int
+}
+
+type fsmWire struct {
+	Ops      []opWire
+	WB       []wbWire
+	Draining bool
+	ReadsRun int
+	RNGDraws uint64
+	Stats    RankStats
+}
+
+type engineWire struct {
+	Ranks [][]fsmWire
+}
+
+// MarshalJSON encodes the snapshot for the durable checkpoint file.
+func (st *EngineState) MarshalJSON() ([]byte, error) {
+	w := engineWire{Ranks: make([][]fsmWire, len(st.ranks))}
+	for ch, row := range st.ranks {
+		w.Ranks[ch] = make([]fsmWire, len(row))
+		for ri := range row {
+			fs := &row[ri]
+			fw := &w.Ranks[ch][ri]
+			fw.Draining, fw.ReadsRun = fs.draining, fs.readsRun
+			fw.RNGDraws, fw.Stats = fs.rngDraws, fs.stats
+			for _, op := range fs.ops {
+				tag, ok := op.tag.(int)
+				if !ok {
+					return nil, fmt.Errorf("nda: op tag %T on ch%d/rk%d is not an encoded index; durable checkpoints need the runtime's tag encoder", op.tag, ch, ri)
+				}
+				fw.Ops = append(fw.Ops, opWire{
+					Tag: tag, Fetched: op.fetched, Emitted: op.emitted,
+					Exhausted: op.exhausted, PendingWr: op.pendingWr,
+					Pushed: op.pushed, HasPushed: op.hasPushed,
+				})
+			}
+			for _, wb := range fs.wb {
+				fw.WB = append(fw.WB, wbWire{Addr: wb.addr, Owner: wb.owner})
+			}
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON rebuilds the snapshot written by MarshalJSON.
+func (st *EngineState) UnmarshalJSON(b []byte) error {
+	var w engineWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	st.ranks = make([][]fsmState, len(w.Ranks))
+	for ch, row := range w.Ranks {
+		st.ranks[ch] = make([]fsmState, len(row))
+		for ri := range row {
+			fw := &row[ri]
+			fs := &st.ranks[ch][ri]
+			fs.draining, fs.readsRun = fw.Draining, fw.ReadsRun
+			fs.rngDraws, fs.stats = fw.RNGDraws, fw.Stats
+			for _, op := range fw.Ops {
+				fs.ops = append(fs.ops, opState{
+					tag: op.Tag, fetched: op.Fetched, emitted: op.Emitted,
+					exhausted: op.Exhausted, pendingWr: op.PendingWr,
+					pushed: op.Pushed, hasPushed: op.HasPushed,
+				})
+			}
+			for _, wb := range fw.WB {
+				fs.wb = append(fs.wb, wbState{addr: wb.Addr, owner: wb.Owner})
+			}
+		}
+	}
+	return nil
+}

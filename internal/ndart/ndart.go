@@ -112,6 +112,14 @@ type Runtime struct {
 	// handleMap, populated by Restore, maps pre-snapshot handles to
 	// their rebuilt counterparts (see RestoredHandle).
 	handleMap map[*Handle]*Handle
+
+	// restored, also populated by Restore, holds the rebuilt handles in
+	// encoder-table order. It is the cross-process counterpart of
+	// handleMap: a driver that recorded a handle's table index at
+	// snapshot time (SnapEncoder.RegisterHandle) recovers the handle in
+	// a fresh process through RestoredHandleAt, where pointer identity
+	// cannot survive.
+	restored []*Handle
 }
 
 // layoutKey identifies one decoded span.

@@ -64,6 +64,14 @@ func (e *SnapEncoder) vec(v *Vector) int {
 	return i
 }
 
+// RegisterHandle adds a handle (and its children) to the encoder's
+// table and returns its stable index. Drivers call it for root join
+// handles they hold across a checkpoint: a root may not be reachable
+// from any in-flight op's blueprint walk, and the returned index is the
+// durable name that survives a process boundary (RestoredHandleAt).
+// Register roots before Snapshot finalizes the tables.
+func (e *SnapEncoder) RegisterHandle(h *Handle) int { return e.handle(h) }
+
 func (e *SnapEncoder) handle(h *Handle) int {
 	if i, ok := e.hIdx[h]; ok {
 		return i
@@ -236,7 +244,18 @@ func (rt *Runtime) Restore(st *RuntimeState) func(tag any) *nda.Op {
 	rt.launchID = st.launchID
 	rt.color, rt.colorSet = st.color, st.colorSet
 	rt.Copies, rt.Launches = st.copies, st.nLaunches
+	rt.restored = hs
 	return func(tag any) *nda.Op { return rt.buildOp(bps[tag.(int)]) }
+}
+
+// RestoredHandleAt returns the rebuilt handle at encoder-table index i
+// after a Restore, or nil when out of range. It is the cross-process
+// form of RestoredHandle for roots registered with RegisterHandle.
+func (rt *Runtime) RestoredHandleAt(i int) *Handle {
+	if i < 0 || i >= len(rt.restored) {
+		return nil
+	}
+	return rt.restored[i]
 }
 
 // RestoredHandle maps a handle obtained before a snapshot to its

@@ -1,0 +1,126 @@
+// On-disk codec for RuntimeState. The index tables (vectors, handles,
+// blueprints, launch packets) already are durable identities — they
+// carry no pointers — so the wire form is a direct mirror. The one
+// in-memory-only field is oldHandles: pre-snapshot pointer identities
+// cannot cross a process boundary, so decode refills the table with
+// fresh placeholder handles of matching length. That keeps Restore's
+// handleMap indexing valid; a post-crash driver recovers handles by
+// table index (RestoredHandleAt), not by old pointer.
+package ndart
+
+import (
+	"encoding/json"
+
+	"chopim/internal/nda"
+	"chopim/internal/osmem"
+)
+
+type vecWire struct {
+	Base      uint64
+	N         int
+	Bytes     uint64
+	Placement Placement
+	Color     osmem.Color
+}
+
+type handleWire struct {
+	Pending  int
+	DoneAt   int64
+	Children []int
+}
+
+type bpWire struct {
+	Kind    nda.OpKind
+	Reads   []int
+	Write   int
+	Ch, R   int
+	From, N int
+	Total   int
+	H       int
+}
+
+type launchWire struct {
+	ID    uint64
+	Ch, R int
+	BPs   []int
+}
+
+type runtimeWire struct {
+	Vecs      []vecWire
+	Handles   []handleWire
+	BPs       []bpWire
+	Launches  []launchWire
+	LaunchID  uint64
+	Color     osmem.Color
+	ColorSet  bool
+	Copies    int64
+	NLaunches int64
+}
+
+// MarshalJSON encodes the snapshot for the durable checkpoint file.
+func (st *RuntimeState) MarshalJSON() ([]byte, error) {
+	w := runtimeWire{
+		LaunchID: st.launchID, Color: st.color, ColorSet: st.colorSet,
+		Copies: st.copies, NLaunches: st.nLaunches,
+	}
+	for _, v := range st.vecs {
+		w.Vecs = append(w.Vecs, vecWire{
+			Base: v.base, N: v.n, Bytes: v.bytes,
+			Placement: v.placement, Color: v.color,
+		})
+	}
+	for _, h := range st.handles {
+		w.Handles = append(w.Handles, handleWire{
+			Pending: h.pending, DoneAt: h.doneAt, Children: h.children,
+		})
+	}
+	for _, b := range st.bps {
+		w.BPs = append(w.BPs, bpWire{
+			Kind: b.kind, Reads: b.reads, Write: b.write,
+			Ch: b.ch, R: b.r, From: b.from, N: b.n, Total: b.total, H: b.h,
+		})
+	}
+	for _, l := range st.launches {
+		w.Launches = append(w.Launches, launchWire{ID: l.id, Ch: l.ch, R: l.r, BPs: l.bps})
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON rebuilds the snapshot written by MarshalJSON. The
+// oldHandles table is refilled with fresh placeholders so Restore's
+// per-index handleMap population stays well-defined.
+func (st *RuntimeState) UnmarshalJSON(b []byte) error {
+	var w runtimeWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*st = RuntimeState{
+		launchID: w.LaunchID, color: w.Color, colorSet: w.ColorSet,
+		copies: w.Copies, nLaunches: w.NLaunches,
+	}
+	for _, v := range w.Vecs {
+		st.vecs = append(st.vecs, vecState{
+			base: v.Base, n: v.N, bytes: v.Bytes,
+			placement: v.Placement, color: v.Color,
+		})
+	}
+	for _, h := range w.Handles {
+		st.handles = append(st.handles, handleState{
+			pending: h.Pending, doneAt: h.DoneAt, children: h.Children,
+		})
+	}
+	st.oldHandles = make([]*Handle, len(st.handles))
+	for i := range st.oldHandles {
+		st.oldHandles[i] = &Handle{}
+	}
+	for _, bw := range w.BPs {
+		st.bps = append(st.bps, bpState{
+			kind: bw.Kind, reads: bw.Reads, write: bw.Write,
+			ch: bw.Ch, r: bw.R, from: bw.From, n: bw.N, total: bw.Total, h: bw.H,
+		})
+	}
+	for _, l := range w.Launches {
+		st.launches = append(st.launches, launchState{id: l.ID, ch: l.Ch, r: l.R, bps: l.BPs})
+	}
+	return nil
+}

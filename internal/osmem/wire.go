@@ -1,0 +1,48 @@
+// On-disk codec for OSState. Free-list slice order is behavior (Alloc
+// pops the last element), so the wire form preserves each order's block
+// list verbatim; encoding/json writes map keys sorted, which keeps the
+// encoded bytes deterministic for a given state.
+package osmem
+
+import "encoding/json"
+
+type allocWire struct {
+	Free      map[uint][]uint64
+	Allocated map[uint64]uint
+}
+
+type osWire struct {
+	Host   allocWire
+	Shared allocWire
+}
+
+func (a *allocState) wire() allocWire {
+	return allocWire{Free: a.free, Allocated: a.allocated}
+}
+
+func (a *allocState) fromWire(w allocWire) {
+	a.free = w.Free
+	if a.free == nil {
+		a.free = map[uint][]uint64{}
+	}
+	a.allocated = w.Allocated
+	if a.allocated == nil {
+		a.allocated = map[uint64]uint{}
+	}
+}
+
+// MarshalJSON encodes the snapshot for the durable checkpoint file.
+func (st *OSState) MarshalJSON() ([]byte, error) {
+	return json.Marshal(osWire{Host: st.host.wire(), Shared: st.shared.wire()})
+}
+
+// UnmarshalJSON rebuilds the snapshot written by MarshalJSON.
+func (st *OSState) UnmarshalJSON(b []byte) error {
+	var w osWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	st.host.fromWire(w.Host)
+	st.shared.fromWire(w.Shared)
+	return nil
+}

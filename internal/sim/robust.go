@@ -47,6 +47,20 @@ func (e *DeadlineError) Error() string {
 	return fmt.Sprintf("sim: cycle deadline exceeded at cycle %d", e.Cycle)
 }
 
+// CanceledError reports that the run's cooperative stop flag
+// (Config.Cancel) was observed set. Like a DeadlineError it is sticky
+// and leaves every counter readable; unlike one it is an orderly,
+// driver-requested stop — the system sits at a quiescent step boundary,
+// so the caller may Snapshot it for a durable checkpoint before
+// discarding it.
+type CanceledError struct {
+	Cycle int64
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sim: run canceled at cycle %d", e.Cycle)
+}
+
 // InvariantError reports a cross-layer conservation violation found by
 // Config.CheckInvariants. It is delivered by panic — a violated
 // invariant means simulator state is already corrupt, the same class as
@@ -157,10 +171,11 @@ func (s *System) watchdog() error {
 }
 
 // DeadlineExceeded checks the per-run deadlines (Config.MaxCycles,
-// Config.MaxWallClock) and records a sticky DeadlineError when one has
-// expired. StepFast consults it once per wake; cycle-by-cycle drivers
-// (the reference Tick path) call it directly. The wall-clock read is
-// rate-limited to one time.Now per wallCheckEvery calls.
+// Config.MaxWallClock) and the cooperative stop flag (Config.Cancel),
+// recording a sticky DeadlineError or CanceledError when one fires.
+// StepFast consults it once per wake; cycle-by-cycle drivers (the
+// reference Tick path) call it directly. The wall-clock read and the
+// cancel-flag load are rate-limited to one per wallCheckEvery calls.
 func (s *System) DeadlineExceeded() error {
 	if s.robust.err != nil {
 		return s.robust.err
@@ -168,14 +183,19 @@ func (s *System) DeadlineExceeded() error {
 	if s.Cfg.MaxCycles > 0 && s.dramCycle >= s.Cfg.MaxCycles {
 		return s.fail(&DeadlineError{Cycle: s.dramCycle, Kind: "cycle"})
 	}
-	if s.Cfg.MaxWallClock > 0 {
+	if s.Cfg.MaxWallClock > 0 || s.Cfg.Cancel != nil {
 		if s.robust.wallStart.IsZero() {
 			s.robust.wallStart = time.Now()
 		}
 		s.robust.wallSeen++
-		if s.robust.wallSeen%wallCheckEvery == 0 &&
-			time.Since(s.robust.wallStart) > s.Cfg.MaxWallClock {
-			return s.fail(&DeadlineError{Cycle: s.dramCycle, Kind: "wall-clock", Limit: s.Cfg.MaxWallClock})
+		if s.robust.wallSeen%wallCheckEvery == 0 {
+			if s.Cfg.Cancel != nil && s.Cfg.Cancel.Load() {
+				return s.fail(&CanceledError{Cycle: s.dramCycle})
+			}
+			if s.Cfg.MaxWallClock > 0 &&
+				time.Since(s.robust.wallStart) > s.Cfg.MaxWallClock {
+				return s.fail(&DeadlineError{Cycle: s.dramCycle, Kind: "wall-clock", Limit: s.Cfg.MaxWallClock})
+			}
 		}
 	}
 	return nil

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/bits"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"chopim/internal/addrmap"
@@ -118,6 +119,16 @@ type Config struct {
 	// MaxWallClock, when positive, bounds the run's host wall-clock
 	// time; checked every few hundred wakes (one time.Now per check).
 	MaxWallClock time.Duration
+
+	// Cancel, when non-nil, is a cooperative stop flag: once it reads
+	// true, StepFast returns a sticky *CanceledError, leaving all
+	// counters readable for partial statistics and the system at a
+	// quiescent (checkpointable) boundary. Checked on the same
+	// rate-limited cadence as MaxWallClock, so arming it does not
+	// perturb the steady-state fast path. Drivers set the flag from
+	// signal handlers or peer goroutines; the field itself is ignored
+	// by snapshots, fingerprints, and cache keys.
+	Cancel *atomic.Bool
 }
 
 // PhaseSpans is the domain-phase profiling result (Config.
@@ -826,7 +837,7 @@ func (s *System) StepFast(limit int64) error {
 			s.exec = newDomainExec(s, nw)
 		}
 	}
-	if s.Cfg.MaxCycles > 0 || s.Cfg.MaxWallClock > 0 {
+	if s.Cfg.MaxCycles > 0 || s.Cfg.MaxWallClock > 0 || s.Cfg.Cancel != nil {
 		if err := s.DeadlineExceeded(); err != nil {
 			return err
 		}

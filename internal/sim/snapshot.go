@@ -54,19 +54,36 @@ func (ck *Checkpoint) Cycle() int64 { return ck.dramCycle }
 // are in flight and under nda.Config.VerifyFSM; both are transient or
 // debug-only conditions, not steady-state ones.
 func (s *System) Snapshot() (*Checkpoint, error) {
+	ck, _, err := s.SnapshotWithRoots(nil)
+	return ck, err
+}
+
+// SnapshotWithRoots is Snapshot plus explicit root handles: each handle
+// in roots is registered in the checkpoint's handle table even when no
+// in-flight op references it, and its table index is returned in
+// matching order. The indices are the durable names a driver persists
+// alongside the checkpoint file; after restoring in a fresh process,
+// RT.RestoredHandleAt(index) recovers the rebuilt handle (the old
+// pointer, the in-memory RestoredHandle key, does not survive a process
+// boundary).
+func (s *System) SnapshotWithRoots(roots []*ndart.Handle) (*Checkpoint, []int, error) {
 	for d := range s.doms {
 		if len(s.doms[d].outbox) != 0 {
-			return nil, errors.New("sim: snapshot mid-tick (domain mailboxes not drained)")
+			return nil, nil, errors.New("sim: snapshot mid-tick (domain mailboxes not drained)")
 		}
 	}
 	enc := s.RT.NewSnapshotEncoder()
 	engSt, err := s.NDA.Snapshot(enc.EncodeTag)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var rootIdx []int
+	for _, h := range roots {
+		rootIdx = append(rootIdx, enc.RegisterHandle(h))
 	}
 	rtSt, err := s.RT.Snapshot(enc)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ck := &Checkpoint{
 		dram: s.Mem.Snapshot(),
@@ -89,7 +106,7 @@ func (s *System) Snapshot() (*Checkpoint, error) {
 		ck.cores = append(ck.cores, c.Snapshot())
 		ck.gens = append(ck.gens, s.gens[i].Snapshot())
 	}
-	return ck, nil
+	return ck, rootIdx, nil
 }
 
 // Restore overwrites the system's state with the checkpoint. The system

@@ -1,0 +1,25 @@
+// On-disk codec for GenState: the RNG draw count and stream cursors are
+// already durable identities (restore replays the seeded source).
+package workload
+
+import "encoding/json"
+
+type genWire struct {
+	Draws   uint64
+	Streams []uint64
+}
+
+// MarshalJSON encodes the snapshot for the durable checkpoint file.
+func (st *GenState) MarshalJSON() ([]byte, error) {
+	return json.Marshal(genWire{Draws: st.draws, Streams: st.streams})
+}
+
+// UnmarshalJSON rebuilds the snapshot written by MarshalJSON.
+func (st *GenState) UnmarshalJSON(b []byte) error {
+	var w genWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	st.draws, st.streams = w.Draws, w.Streams
+	return nil
+}
