@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"chopim/internal/ndart"
+	"chopim/internal/workload"
+)
+
+// coreShardWorkloads returns the workload shapes the core-sharded
+// front-end equivalence tests run: multi-core hosts covering the three
+// front-end regimes — batched compute cycles, private-hit ticks, and
+// shared-path storms with NDA traffic underneath.
+func coreShardWorkloads() []ffWorkload {
+	var out []ffWorkload
+	for _, w := range ffWorkloads() {
+		switch w.name {
+		case "mixed-mix1-dot", "host-stall-heavy", "host-compute-heavy", "mixed-mix3-copy-shared":
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// TestCoreOrderFuzz randomizes the dispatch order of the core-local
+// part of every CPU sub-cycle (mirror of TestDomainOrderFuzz): since a
+// core's local part touches only its own ROB/trace and private L1/L2 —
+// and, by the narrowed ver argument, never the memory epoch — while
+// every shared-path effect defers to the commit loop's canonical core
+// order, any permutation must be bit-identical to the plain serial
+// window. Setting coreOrder also forces the split front-end path at
+// one worker, so this doubles as the split-vs-serial equivalence pin.
+func TestCoreOrderFuzz(t *testing.T) {
+	for _, w := range coreShardWorkloads() {
+		t.Run(w.name, func(t *testing.T) {
+			canonical := driveWorkers(t, w, 1, 4, 5_000)
+
+			s, err := New(w.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var it func() (*ndart.Handle, error)
+			if w.app != nil {
+				if it, err = w.app(s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var h *ndart.Handle
+			relaunch := func() {
+				if it == nil {
+					return
+				}
+				if h == nil || h.Done() {
+					if h, err = it(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			relaunch()
+			rng := rand.New(rand.NewSource(0xC04E))
+			s.coreOrder = make([]int, len(s.Cores))
+			for seg := 0; seg < 4; seg++ {
+				end := s.Now() + 5_000
+				for s.Now() < end {
+					// Fresh permutation per executed step.
+					for i := range s.coreOrder {
+						s.coreOrder[i] = i
+					}
+					rng.Shuffle(len(s.coreOrder), func(i, j int) {
+						s.coreOrder[i], s.coreOrder[j] = s.coreOrder[j], s.coreOrder[i]
+					})
+					s.StepFast(end)
+					relaunch()
+				}
+				if got := snapshot(s); got != canonical[seg] {
+					t.Fatalf("segment %d diverged under permuted core order:\n canonical: %s\n permuted:  %s",
+						seg, canonical[seg], got)
+				}
+			}
+		})
+	}
+}
+
+// missStormWorkload builds one randomized 8-core miss-storm shape:
+// memory-heavy cores with randomized footprints, stream fractions, and
+// dependency mixes, layered under NDA COPY traffic. High MemRatio
+// across 8 cores keeps the 48 LLC MSHRs saturated (Stall
+// classification and rollback on the deferred path), streaming cores
+// train the prefetcher so demand accesses merge into in-flight
+// prefetch MSHRs, and the dependency fraction varies how often issue
+// groups park mid-group at the commit barrier.
+func missStormWorkload(rng *rand.Rand) ffWorkload {
+	profs := make([]workload.Profile, 8)
+	for i := range profs {
+		profs[i] = workload.Profile{
+			Name:       fmt.Sprintf("storm%d", i),
+			Class:      workload.High,
+			MemRatio:   0.55 + 0.4*rng.Float64(),
+			WriteFrac:  0.05 + 0.5*rng.Float64(),
+			Footprint:  uint64(8+rng.Intn(56)) << 20,
+			StreamFrac: rng.Float64(),
+			Streams:    1 + rng.Intn(8),
+			DepFrac:    0.7 * rng.Float64(),
+		}
+	}
+	seed := rng.Int63()
+	var app func(s *System) (func() (*ndart.Handle, error), error)
+	for _, w := range ffWorkloads() {
+		if w.name == "mixed-mix1-dot" {
+			app = w.app // the DOT kernel, for NDA traffic underneath
+		}
+	}
+	return ffWorkload{
+		name: "miss-storm",
+		cfg: func() Config {
+			c := Default(-1)
+			c.HostProfiles = profs
+			c.Seed = seed
+			return c
+		},
+		app: app,
+	}
+}
+
+// TestCoreShardMissStorm fuzzes the deferred shared path under MSHR
+// pressure: randomized 8-core miss storms must produce counters
+// bit-identical across the reference Run oracle, the serial fast path,
+// and the core-sharded executor at 2 and 4 workers. The storm shapes
+// drive every deferral class through the commit loop — LLC probes,
+// MSHR merges (demand meeting its own in-flight prefetch), MSHR/queue
+// Stall classification with rollback, and backend reads — interleaved
+// with probe-stall retries whose epoch checks must land at their
+// canonical serial positions.
+func TestCoreShardMissStorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5707))
+	iters := 3
+	if testing.Short() {
+		iters = 1
+	}
+	for it := 0; it < iters; it++ {
+		w := missStormWorkload(rng)
+		t.Run(fmt.Sprintf("storm-%d", it), func(t *testing.T) {
+			ref := drive(t, w, false, 2, 4_000)
+			for _, workers := range []int{1, 2, 4} {
+				got := driveWorkers(t, w, workers, 2, 4_000)
+				for i := range ref {
+					if ref[i] != got[i] {
+						t.Fatalf("workers=%d diverged from Run at segment %d:\n reference: %s\n fast:      %s",
+							workers, i, ref[i], got[i])
+					}
+				}
+			}
+		})
+	}
+}

@@ -6,36 +6,60 @@ import (
 	"sync/atomic"
 )
 
-// domainExec is the phase-barriered channel-domain executor: a pool of
-// persistent worker goroutines that, once per executed tick, claim due
-// channel domains off a shared counter and run System.domainTick on
-// them, with the calling goroutine (the coordinator) participating. The
-// round ends when every domain has completed — the barrier behind which
-// the serial commit phase runs.
+// domainExec is the phase-barriered work-stealing executor: a pool of
+// persistent worker goroutines that, once per round, claim work items
+// off a shared counter, with the calling goroutine (the coordinator)
+// participating. It runs two kinds of rounds over the same pool:
 //
-// Determinism does not depend on the executor at all: domains touch no
-// shared mutable state during the memory phase (dram.Mem, the
+//   - domain rounds (round): one item per channel domain, running
+//     System.domainTick — the per-tick memory phase;
+//   - core rounds (coreRound): one item per host core, running
+//     System.coreSubTick — the core-local part of one CPU sub-cycle of
+//     the sharded front-end (DESIGN.md §2.10).
+//
+// The round ends when every item has completed — the barrier behind
+// which the serial commit phase (cross-channel commit, or the
+// front-end's sub-cycle commit loop) runs.
+//
+// Determinism does not depend on the executor at all: domain items
+// touch no shared mutable state during the memory phase (dram.Mem, the
 // controllers, and the rank NDAs are all channel-sharded, and
 // cross-channel completion callbacks divert into per-domain
-// mailboxes), so any assignment of domains to workers produces
-// bit-identical state. The work-stealing claim counter is purely a
-// load-balancing choice; it also guarantees progress when workers are
-// descheduled (an oversubscribed or single-CPU machine): the
-// coordinator drains whatever remains itself.
+// mailboxes), and core items touch only the core's own ROB/trace and
+// private L1/L2 (shared-path accesses defer to the commit loop), so
+// any assignment of items to workers produces bit-identical state. The
+// work-stealing claim counter is purely a load-balancing choice; it
+// also guarantees progress when workers are descheduled (an
+// oversubscribed or single-CPU machine): the coordinator drains
+// whatever remains itself.
 //
-// Workers spin briefly between rounds (ticks in a hot RunFast loop
+// Every round exposes exactly nClaims claims regardless of its kind —
+// claims beyond the round's real item count are no-ops that still
+// count toward the barrier. The constant claim space is what keeps
+// straggler claims safe now that rounds differ in size: a claim that
+// lands after a new round opened is either >= nClaims (a no-op in
+// every round) or a valid claim of the NEW round, and the atomic
+// increment that claimed it synchronizes with the coordinator's
+// release, so reading the round's plain mode/now fields after a valid
+// claim is race-free. With per-mode claim bounds instead, a stale
+// claim from a small round could alias a live item of a larger one.
+//
+// Workers spin briefly between rounds (rounds in a hot RunFast loop
 // arrive microseconds apart), yield for a while, then park on a
 // condition variable; the coordinator wakes sleepers at the start of a
-// round. The steady-state handoff is a few atomic operations per tick
+// round. The steady-state handoff is a few atomic operations per round
 // and allocates nothing.
 type domainExec struct {
-	s  *System
-	nw int // total workers including the coordinator
+	s       *System
+	nw      int   // total workers including the coordinator
+	nClaims int32 // constant per-round claim space: max(domains, cores)
+	singleP bool  // GOMAXPROCS==1 at construction: park the pool (see launch)
 
 	seq     atomic.Uint64 // round number; bumped to release workers
-	next    atomic.Int32  // domain claim counter for the current round
-	pending atomic.Int32  // domains not yet completed this round
-	now     int64         // the round's DRAM cycle (published before next/seq)
+	next    atomic.Int32  // item claim counter for the current round
+	pending atomic.Int32  // claims not yet completed this round
+	now     int64         // the round's cycle (published before next/seq)
+	mode    int32         // the round's kind (published before next/seq)
 
 	sleepers atomic.Int32
 	stopped  atomic.Bool
@@ -43,6 +67,12 @@ type domainExec struct {
 	cond     *sync.Cond
 	wg       sync.WaitGroup
 }
+
+// Round kinds (domainExec.mode).
+const (
+	roundDomains = int32(iota)
+	roundCores
+)
 
 // Spin tuning: hot spins poll the round counter back to back; yield
 // spins Gosched between polls (so an oversubscribed coordinator can
@@ -55,7 +85,12 @@ const (
 // newDomainExec starts nw-1 worker goroutines (the caller is the nw-th
 // worker). Callers ensure nw >= 2.
 func newDomainExec(s *System, nw int) *domainExec {
-	e := &domainExec{s: s, nw: nw}
+	e := &domainExec{
+		s:       s,
+		nw:      nw,
+		nClaims: int32(max(len(s.doms), len(s.Cores))),
+		singleP: runtime.GOMAXPROCS(0) < 2,
+	}
 	e.cond = sync.NewCond(&e.mu)
 	e.wg.Add(nw - 1)
 	for w := 1; w < nw; w++ {
@@ -64,12 +99,46 @@ func newDomainExec(s *System, nw int) *domainExec {
 	return e
 }
 
-// round runs one memory phase: all domains, each exactly once, fanned
-// across the pool. It returns only after every domain completed.
-func (e *domainExec) round(now int64) {
+// round runs one memory phase: all channel domains, each exactly once,
+// fanned across the pool. It returns only after every domain completed.
+func (e *domainExec) round(now int64) { e.launch(roundDomains, now) }
+
+// coreRound runs the core-local part of one CPU sub-cycle: every
+// core's coreSubTick, each exactly once, fanned across the pool. It
+// returns only after every core completed — the sub-cycle commit
+// barrier behind which tickDue drains the deferred shared-path work in
+// canonical core order.
+func (e *domainExec) coreRound(cc int64) { e.launch(roundCores, cc) }
+
+// launch opens one round and participates until its barrier resolves.
+func (e *domainExec) launch(mode int32, now int64) {
+	// On a single-P runtime parallel claiming cannot overlap the
+	// coordinator — any cycle a worker runs is a cycle stolen from it —
+	// so the pool stays parked for the executor's whole life (workers
+	// park on their first loop pass and are never broadcast a round;
+	// see worker) and every round runs inline, with no claim atomics at
+	// all. Rounds are work-conserving, so this changes scheduling only,
+	// never results; it is what keeps the executor at noise-level
+	// overhead on 1-CPU machines now that core rounds open every CPU
+	// sub-cycle rather than once per tick. Tests that need the full
+	// claim machinery on such machines raise GOMAXPROCS before
+	// constructing the system.
+	if e.singleP {
+		if mode == roundCores {
+			for i := range e.s.Cores {
+				e.s.coreSubTick(i, now)
+			}
+		} else {
+			for d := range e.s.doms {
+				e.s.domainTick(d, now)
+			}
+		}
+		return
+	}
 	e.now = now
-	e.pending.Store(int32(len(e.s.doms)))
-	e.next.Store(0) // release-publishes now/pending to claimers
+	e.mode = mode
+	e.pending.Store(e.nClaims)
+	e.next.Store(0) // release-publishes now/mode/pending to claimers
 	e.seq.Add(1)
 	if e.sleepers.Load() > 0 {
 		e.mu.Lock()
@@ -77,9 +146,9 @@ func (e *domainExec) round(now int64) {
 		e.mu.Unlock()
 	}
 	e.drain()
-	// Wait for straggler workers still inside a claimed domain. The
-	// remaining work is at most nw-1 domain ticks, so spin tightly and
-	// yield: parking here would cost more than the wait.
+	// Wait for straggler workers still inside a claimed item. The
+	// remaining work is at most nw-1 items, so spin tightly and yield:
+	// parking here would cost more than the wait.
 	for spins := 0; e.pending.Load() != 0; spins++ {
 		if spins > execHotSpins {
 			runtime.Gosched()
@@ -87,19 +156,28 @@ func (e *domainExec) round(now int64) {
 	}
 }
 
-// drain claims and runs domains until the current round has none left.
-// The claim is a plain atomic increment: a claim that lands after a new
-// round opened simply executes one of the new round's domains (now is
-// re-read after the claim), which is exactly what some goroutine had to
-// do anyway — rounds are delimited by pending, not by who claims.
+// drain claims and runs items until the current round has none left.
+// The claim is a plain atomic increment: a claim that lands after a
+// new round opened simply executes one of the new round's items (mode
+// and now are re-read after the claim, under the synchronizes-with
+// edge the claim itself creates), which is exactly what some goroutine
+// had to do anyway — rounds are delimited by pending, not by who
+// claims. Claims past the round's real item count burn a slot of the
+// constant claim space (see the type comment) and only decrement the
+// barrier.
 func (e *domainExec) drain() {
-	nd := int32(len(e.s.doms))
 	for {
 		d := e.next.Add(1) - 1
-		if d >= nd {
+		if d >= e.nClaims {
 			return
 		}
-		e.s.domainTick(int(d), e.now)
+		if e.mode == roundCores {
+			if int(d) < len(e.s.Cores) {
+				e.s.coreSubTick(int(d), e.now)
+			}
+		} else if int(d) < len(e.s.doms) {
+			e.s.domainTick(int(d), e.now)
+		}
 		e.pending.Add(-1)
 	}
 }
@@ -117,6 +195,13 @@ func (e *domainExec) worker() {
 			}
 			spins++
 			switch {
+			case e.singleP:
+				// Spinning on a single-P runtime only steals the
+				// coordinator's quanta; park immediately. The
+				// coordinator never broadcasts rounds here (see
+				// launch), so the pool sleeps until stop.
+				e.park(last)
+				spins = 0
 			case spins < execHotSpins:
 				// hot poll
 			case spins < execYieldSpins:
@@ -138,7 +223,7 @@ func (e *domainExec) worker() {
 // the mutex, so a worker that checks seq just before a round opens can
 // register as a sleeper just after the coordinator saw zero and miss
 // that round's broadcast entirely. That is safe ONLY because rounds
-// are work-conserving — the coordinator drains every unclaimed domain
+// are work-conserving — the coordinator drains every unclaimed item
 // itself and the barrier is pending==0, never wait-for-workers — so a
 // sleeping worker merely sits out rounds until the next broadcast
 // reaches it. Any restructure that makes round completion depend on a

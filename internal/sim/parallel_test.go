@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"chopim/internal/ndart"
@@ -36,9 +37,16 @@ func parallelWorkloads() []ffWorkload {
 }
 
 // driveWorkers is drive (fastforward_test.go) with a SimWorkers setting
-// and executor cleanup.
+// and executor cleanup. On a single-P runtime the executor parks its
+// pool and runs rounds inline (exec.go), so the tests raise GOMAXPROCS
+// for the system's lifetime to force the full cross-goroutine claim
+// machinery — that is what -race must see, even on 1-CPU machines.
 func driveWorkers(t *testing.T, w ffWorkload, workers int, segments int, segCycles int64) []string {
 	t.Helper()
+	if old := runtime.GOMAXPROCS(0); workers > 1 && old < workers {
+		runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(old)
+	}
 	cfg := w.cfg()
 	cfg.SimWorkers = workers
 	s, err := New(cfg)

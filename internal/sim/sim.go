@@ -67,28 +67,37 @@ type Config struct {
 	// ModelLaunches models control-register launch packets.
 	ModelLaunches bool
 
-	// SimWorkers sets the channel-domain executor's worker count for the
-	// fast path (RunFast/StepFast): the per-channel memory phase of each
-	// executed tick is fanned across this many goroutines (including the
-	// caller), one domain at a time per worker. 0 or 1 runs the memory
-	// phase inline, negative means one worker per available CPU (the
-	// same convention as the experiment runner's Parallel), and values
-	// above the channel count are clamped. Results
-	// are bit-identical for every worker count — domains share no
-	// mutable state during the phase, and all cross-channel effects are
-	// applied in a canonical order in the serial commit phase. The
-	// reference Run path never uses workers. Call Close when done with a
-	// system built with SimWorkers > 1 to release the worker goroutines.
+	// SimWorkers sets the executor's worker count for the fast path
+	// (RunFast/StepFast). Workers fan both parallel phases of each
+	// executed tick: the per-channel memory phase (one domain at a time
+	// per worker) and the core-local part of every CPU sub-cycle in
+	// the front-end (one core at a time per worker; DESIGN.md §2.10).
+	// 0 or 1 runs everything inline, negative means one worker per
+	// available CPU (the same convention as the experiment runner's
+	// Parallel), and values above max(channels, cores) are clamped.
+	// Results are bit-identical for every worker count — domains share
+	// no mutable state during the memory phase, cores touch only their
+	// private ROB/L1/L2 during the local sub-cycle part, and all
+	// cross-channel and shared-path effects are applied in a canonical
+	// order at the serial commit points. The reference Run path never
+	// uses workers. Call Close when done with a system built with
+	// SimWorkers > 1 to release the worker goroutines.
 	SimWorkers int
 
 	// ProfileDomains enables cheap per-domain phase-span counters on the
-	// fast path: every executed tick's per-channel memory phase and the
-	// serial front-end (commit, runtime, CPU-credit loop) record their
+	// fast path: every executed tick's per-channel memory phase and
+	// front end (commit, runtime, CPU-credit loop) record their
 	// wall-clock span into power-of-two-nanosecond histograms
-	// (PhaseSpans). The executor's ceiling is the slowest domain per
-	// tick, so the histograms show whether a workload is bounded by one
-	// hot channel or by the serial front-end. Off by default: the tick
-	// loop then pays a single nil check per phase.
+	// (PhaseSpans), with each CPU sub-cycle additionally split into its
+	// core-local and shared-commit parts — the directly measured
+	// parallelizable fraction of the front end. The executor's ceiling
+	// is the slowest domain (or core) per round, so the histograms show
+	// whether a workload is bounded by one hot channel, by the
+	// sub-cycle commit loop, or by nothing the workers can help with.
+	// Profiled runs take the split front-end path even at one worker
+	// (bit-identical by construction, pinned by
+	// TestProfileDomainsNeutral). Off by default: the tick loop then
+	// pays a single nil check per phase.
 	ProfileDomains bool
 
 	Seed int64
@@ -133,11 +142,21 @@ type Config struct {
 
 // PhaseSpans is the domain-phase profiling result (Config.
 // ProfileDomains): per-channel memory-phase tick-span histograms and
-// the serial front-end span histogram. Bucket i counts executed-tick
-// spans in [2^(i-1), 2^i) nanoseconds.
+// front-end span histograms. Bucket i counts spans in [2^(i-1), 2^i)
+// nanoseconds. Front covers the whole post-barrier tick portion
+// (commit + runtime + CPU window) per executed tick; FrontLocal and
+// FrontShared split each CPU sub-cycle of that window into its
+// core-local part (private-hit ticks — the fraction the core-sharded
+// executor parallelizes, DESIGN.md §2.10) and its serial commit part
+// (deferred shared-path accesses plus probe-stall retries), one
+// histogram entry per executed sub-cycle. Profiled runs always take
+// the split front-end path — inline at one worker — so the split is
+// measurable before and after sharding, on any machine.
 type PhaseSpans struct {
-	Domains [][]int64 // [channel][bucket]
-	Front   []int64   // commit + runtime + CPU phases, per tick
+	Domains     [][]int64 // [channel][bucket]
+	Front       []int64   // commit + runtime + CPU phases, per tick
+	FrontLocal  []int64   // core-local sub-cycle part, per sub-cycle
+	FrontShared []int64   // sub-cycle commit loop, per sub-cycle
 }
 
 // phaseBuckets bounds the histograms: 2^24 ns ≈ 16 ms per tick-phase,
@@ -165,6 +184,12 @@ func (p *PhaseSpans) Merge(o *PhaseSpans) {
 	if p.Front == nil {
 		p.Front = make([]int64, phaseBuckets)
 	}
+	if p.FrontLocal == nil {
+		p.FrontLocal = make([]int64, phaseBuckets)
+	}
+	if p.FrontShared == nil {
+		p.FrontShared = make([]int64, phaseBuckets)
+	}
 	for d, hist := range o.Domains {
 		for b, n := range hist {
 			p.Domains[d][b] += n
@@ -172,6 +197,12 @@ func (p *PhaseSpans) Merge(o *PhaseSpans) {
 	}
 	for b, n := range o.Front {
 		p.Front[b] += n
+	}
+	for b, n := range o.FrontLocal {
+		p.FrontLocal[b] += n
+	}
+	for b, n := range o.FrontShared {
+		p.FrontShared[b] += n
 	}
 }
 
@@ -237,6 +268,13 @@ type System struct {
 	coreDue   []bool
 	coreEpoch []uint64
 
+	// coreParked is per-sub-cycle scratch for the sharded front-end
+	// (DESIGN.md §2.10): core i's slot is set when its TickDeferred
+	// parked on a shared-path access and the sub-cycle commit loop owes
+	// it a FinishTick. Written only by the goroutine running core i's
+	// coreSubTick, read by the coordinator after the round barrier.
+	coreParked []bool
+
 	// doms holds one channel domain per memory channel: the unit of
 	// parallelism in the memory phase. Domain d owns MCs[d], the rank
 	// NDAs of channel d, and channel d's share of Mem; its mailbox
@@ -253,14 +291,19 @@ type System struct {
 	stepNDAWake []int64
 	stepRTWake  int64
 
-	// exec is the channel-domain worker pool (nil when SimWorkers <= 1
-	// or the system has fewer than two domains); started lazily by the
-	// first fast-path tick. domOrder, when non-nil, permutes the serial
-	// memory-phase dispatch order (test hook: domains are independent,
-	// so any order must be bit-identical).
-	exec     *domainExec
-	execInit bool
-	domOrder []int
+	// exec is the work-stealing worker pool (nil when SimWorkers <= 1
+	// or the system has fewer than two domains AND fewer than two
+	// cores); started lazily by the first fast-path tick. It fans both
+	// the per-tick channel-domain memory phase and the per-sub-cycle
+	// core-local front-end rounds. domOrder, when non-nil, permutes the
+	// serial memory-phase dispatch order (test hook: domains are
+	// independent, so any order must be bit-identical); coreOrder does
+	// the same for the core-local part of each CPU sub-cycle (and, like
+	// the profiler, forces the split front-end path at one worker).
+	exec      *domainExec
+	execInit  bool
+	domOrder  []int
+	coreOrder []int
 
 	// prof collects phase-span histograms when Config.ProfileDomains is
 	// set (nil otherwise; see PhaseSpans).
@@ -371,9 +414,14 @@ func New(cfg Config) (*System, error) {
 	}
 	s.coreDue = make([]bool, len(s.Cores))
 	s.coreEpoch = make([]uint64, len(s.Cores))
+	s.coreParked = make([]bool, len(s.Cores))
 	s.stepNDAWake = make([]int64, len(s.MCs))
 	if cfg.ProfileDomains {
-		s.prof = &PhaseSpans{Front: make([]int64, phaseBuckets)}
+		s.prof = &PhaseSpans{
+			Front:       make([]int64, phaseBuckets),
+			FrontLocal:  make([]int64, phaseBuckets),
+			FrontShared: make([]int64, phaseBuckets),
+		}
 		for range s.MCs {
 			s.prof.Domains = append(s.prof.Domains, make([]int64, phaseBuckets))
 		}
@@ -387,9 +435,10 @@ func New(cfg Config) (*System, error) {
 	return s, nil
 }
 
-// Close releases the channel-domain worker goroutines (a no-op for
-// systems without a started executor). The system stays usable
-// afterwards; subsequent fast-path ticks run the memory phase inline.
+// Close releases the executor's worker goroutines (a no-op for systems
+// without a started executor). The system stays usable afterwards;
+// subsequent fast-path ticks run the memory phase and the front-end
+// sub-cycles inline.
 func (s *System) Close() {
 	if s.exec != nil {
 		s.exec.stop()
@@ -680,10 +729,11 @@ func (s *System) domainTickBody(d int, now int64) {
 // tickDue advances the system one DRAM cycle, dispatching only due
 // components: the per-channel memory phase (on the executor when one is
 // running, inline otherwise), the cross-channel commit, the runtime,
-// then the CPU-credit loop with cores in index order — the same phase
-// order as Tick, with skips that are individually proven no-ops (see
-// domainTick for the memory phase; blocked-core skipping is argued at
-// the dispatch loop below).
+// then the CPU-credit loop — serial with cores in index order, or
+// core-sharded per sub-cycle (coreWindow) when the executor, profiler,
+// or order hook is active. Phase order matches Tick, with skips that
+// are individually proven no-ops (see domainTick for the memory phase;
+// blocked-core skipping is argued at the dispatch loop below).
 func (s *System) tickDue() {
 	now := s.dramCycle
 	switch {
@@ -735,10 +785,14 @@ func (s *System) tickDue() {
 	// change state before their wake and skip the window arithmetically.
 	rd := s.rdSum()
 	anyDue := false
+	nDue := 0
 	for i, core := range s.Cores {
 		due := !core.Blocked() || core.WakeCycle() < cEnd
 		s.coreDue[i] = due
 		anyDue = anyDue || due
+		if due {
+			nDue++
+		}
 	}
 	if !anyDue {
 		bulk := true
@@ -769,18 +823,102 @@ func (s *System) tickDue() {
 			return
 		}
 	}
+	if s.exec != nil || s.prof != nil || s.coreOrder != nil {
+		// Core-sharded front-end (DESIGN.md §2.10): the split path runs
+		// whenever the executor could fan sub-cycles — and under the
+		// profiler or the order hook even at one worker, so the
+		// local/shared split is measurable (and fuzzable) anywhere.
+		s.coreWindow(cEnd, rd, nDue)
+	} else {
+		for cc := s.cpuCycle; cc < cEnd; cc++ {
+			for i, core := range s.Cores {
+				if s.coreDue[i] {
+					// Window-batched retirement: a due core first attempts
+					// the batched cycle (bit-exact to Tick, and touching no
+					// shared state — so it cannot perturb other cores'
+					// probes or the epoch within this lockstep sub-cycle);
+					// cycles whose issue group reaches a memory instruction
+					// fall back to the full Tick. Run never batches — it is
+					// the instruction-at-a-time oracle.
+					if !core.BatchTick(cc) {
+						core.Tick(cc)
+					}
+					continue
+				}
+				if core.ProbeStalled() {
+					e := rd + s.Hier.Ver()
+					if e != s.coreEpoch[i] {
+						core.Tick(cc)
+						if core.Blocked() && core.ProbeStalled() {
+							s.coreEpoch[i] = e
+						} else {
+							// Progressed or changed kind: reference
+							// semantics for the rest of the window.
+							s.coreDue[i] = true
+						}
+						continue
+					}
+				}
+				core.SkipCycles(1)
+			}
+		}
+	}
+	s.cpuCycle = cEnd
+	s.dramCycle++
+	if s.prof != nil {
+		s.prof.Front[bucketNS(time.Since(profT0))]++
+	}
+}
+
+// minParCores bounds when a sub-cycle's core-local round is worth
+// fanning across the executor: below two due cores the round is pure
+// overhead and the window runs the split path inline.
+const minParCores = 2
+
+// coreWindow runs the tick's CPU sub-cycles on the split front-end
+// path (DESIGN.md §2.10). Per sub-cycle, every due core's core-local
+// part runs first — a batched compute cycle or a deferred tick whose
+// shared-path access parks — fanned across the executor when enough
+// cores are due, inline otherwise; then the serial commit loop visits
+// cores in canonical index order, completing parked ticks
+// (FinishTick: the deferred access replays through the full shared
+// path) and running the epoch-gated probe-stall retries exactly where
+// the serial window would. Bit-exactness does not depend on
+// scheduling: local parts read and write only disjoint core-private
+// state — the core's ROB/trace and its private L1/L2, which by the
+// narrowed ver argument never move the memory epoch — so they commute
+// with each other and with every other core's shared suffix, while
+// the suffixes execute serially in the reference order, reading
+// rd+Ver at their canonical positions.
+func (s *System) coreWindow(cEnd int64, rd uint64, nDue int) {
+	var t0 time.Time
 	for cc := s.cpuCycle; cc < cEnd; cc++ {
+		if s.prof != nil {
+			t0 = time.Now()
+		}
+		switch {
+		case s.exec != nil && nDue >= minParCores:
+			s.exec.coreRound(cc)
+		case s.coreOrder != nil:
+			// Test hook: local parts are independent, so any dispatch
+			// order must be bit-identical to the canonical one.
+			for _, i := range s.coreOrder {
+				s.coreSubTick(i, cc)
+			}
+		default:
+			for i := range s.Cores {
+				s.coreSubTick(i, cc)
+			}
+		}
+		if s.prof != nil {
+			s.prof.FrontLocal[bucketNS(time.Since(t0))]++
+			t0 = time.Now()
+		}
 		for i, core := range s.Cores {
 			if s.coreDue[i] {
-				// Window-batched retirement: a due core first attempts
-				// the batched cycle (bit-exact to Tick, and touching no
-				// shared state — so it cannot perturb other cores'
-				// probes or the epoch within this lockstep sub-cycle);
-				// cycles whose issue group reaches a memory instruction
-				// fall back to the full Tick. Run never batches — it is
-				// the instruction-at-a-time oracle.
-				if !core.BatchTick(cc) {
-					core.Tick(cc)
+				if s.coreParked[i] {
+					s.coreParked[i] = false
+					core.FinishTick(cc)
 				}
 				continue
 			}
@@ -792,19 +930,36 @@ func (s *System) tickDue() {
 						s.coreEpoch[i] = e
 					} else {
 						// Progressed or changed kind: reference
-						// semantics for the rest of the window.
+						// semantics (and due dispatch) for the rest of
+						// the window.
 						s.coreDue[i] = true
+						nDue++
 					}
 					continue
 				}
 			}
 			core.SkipCycles(1)
 		}
+		if s.prof != nil {
+			s.prof.FrontShared[bucketNS(time.Since(t0))]++
+		}
 	}
-	s.cpuCycle = cEnd
-	s.dramCycle++
-	if s.prof != nil {
-		s.prof.Front[bucketNS(time.Since(profT0))]++
+}
+
+// coreSubTick runs core i's core-local part of one CPU sub-cycle: a
+// batched compute cycle when possible, otherwise a deferred tick that
+// parks any shared-path access for the commit loop (coreParked).
+// Non-due cores are left entirely to the commit loop — their
+// epoch-gated probe retries and skip bookkeeping must happen at their
+// canonical serial position. This runs on executor workers: it may
+// touch only core i's state and core i's slots of coreDue/coreParked.
+func (s *System) coreSubTick(i int, cc int64) {
+	if !s.coreDue[i] {
+		return
+	}
+	core := s.Cores[i]
+	if !core.BatchTick(cc) {
+		s.coreParked[i] = core.TickDeferred(cc)
 	}
 }
 
@@ -833,7 +988,11 @@ func (s *System) StepFast(limit int64) error {
 		if req < 0 {
 			req = runtime.GOMAXPROCS(0)
 		}
-		if nw := min(req, len(s.doms)); nw > 1 {
+		// The pool is worth starting when either round kind can fan:
+		// workers are clamped to the larger of the domain and core
+		// counts (a 1-channel many-core system still shards its
+		// front-end; extra workers no-op the smaller round kind).
+		if nw := min(req, max(len(s.doms), len(s.Cores))); nw > 1 {
 			s.exec = newDomainExec(s, nw)
 		}
 	}

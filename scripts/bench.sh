@@ -9,17 +9,26 @@
 #                   in .json is used as the output path verbatim (its PR
 #                   number is parsed from the name when possible).
 #
+# Each benchmark runs -count ${BENCH_COUNT:-3} times and the snapshot
+# records the per-benchmark MINIMUM ns/op — the noise-robust statistic
+# on the shared containers these snapshots come from, where load spikes
+# inflate individual samples by 20%+ and a single unlucky pair would
+# randomly trip the ratio gates below.
+#
 # The snapshot records three blocks:
 #   benchmarks  the suite at 1 worker (the serial trajectory numbers),
 #               including CalibrationSpin, a pure-CPU spin that anchors
 #               cross-machine normalization in bench_check.sh;
-#   workers4    MixedHostNDA (sim-internal channel-domain executor,
+#   workers4    MixedHostNDA (sim-internal executor fanning channel
+#               domains and the core-sharded CPU front-end,
 #               SimWorkers=4) and Fig11BankPartitioning (point-level
 #               runner sharding, Parallel=4) re-run at 4 workers via
 #               CHOPIM_BENCH_WORKERS, with per-benchmark speedups.
-#               Parallel speedup requires free CPUs: on a single-CPU
-#               machine this block measures executor overhead instead,
-#               and the recorded cpus field says so.
+#               Parallel speedup requires free CPUs: the block records
+#               workers_sweep_valid (cpus > 1); when false the speedup
+#               numbers measure executor overhead, not scaling, and
+#               MixedHostNDA is instead gated at <=5% overhead versus
+#               the serial front-end.
 #
 # The baseline block comes from the newest committed BENCH_PR*.json
 # older than the target PR (so each PR's snapshot carries its
@@ -46,13 +55,15 @@ RAW="$(mktemp)"
 RAW4="$(mktemp)"
 trap 'rm -f "$RAW" "$RAW4"' EXIT
 
+COUNT="${BENCH_COUNT:-3}"
+
 go test -run '^$' \
     -bench 'BenchmarkMixedHostNDA$|BenchmarkMixedHostNDACheckpointed$|BenchmarkHostStallHeavy$|BenchmarkHostComputeHeavy$|BenchmarkFig14Wide8Ranks$|BenchmarkFig11BankPartitioning$|BenchmarkFig12WriteThrottling$|BenchmarkFig12CachedRegen$|BenchmarkCalibrationSpin$' \
-    -benchtime "$BENCHTIME" -count 1 . | tee "$RAW"
+    -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW"
 
 CHOPIM_BENCH_WORKERS=4 go test -run '^$' \
     -bench 'BenchmarkMixedHostNDA$|BenchmarkFig11BankPartitioning$' \
-    -benchtime "$BENCHTIME" -count 1 . | tee "$RAW4"
+    -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW4"
 
 BENCH_RAW="$RAW" BENCH_RAW4="$RAW4" BENCH_OUT="$OUT" BENCH_PR="$PR" BENCH_TIME="$BENCHTIME" \
     BENCH_GIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
@@ -65,6 +76,9 @@ pr = os.environ["BENCH_PR"]
 pr = int(pr) if pr else None
 
 def parse(path):
+    # Multiple -count repetitions of each benchmark: keep the minimum
+    # ns/op (see the header) and the worst allocs/op (allocations are
+    # deterministic, so any disagreement is itself a bug worth failing).
     cpu = ""
     benches = {}
     order = []
@@ -74,12 +88,19 @@ def parse(path):
         m = re.match(r"^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(.*)$", line)
         if m:
             name = m.group(1)[len("Benchmark"):]
-            entry = {"ns_per_op": int(float(m.group(2))), "allocs_per_op": None}
+            ns = int(float(m.group(2)))
+            allocs = None
             am = re.search(r"(\d+) allocs/op", m.group(3))
             if am:
-                entry["allocs_per_op"] = int(am.group(1))
-            benches[name] = entry
-            order.append(name)
+                allocs = int(am.group(1))
+            if name not in benches:
+                benches[name] = {"ns_per_op": ns, "allocs_per_op": allocs}
+                order.append(name)
+            else:
+                e = benches[name]
+                e["ns_per_op"] = min(e["ns_per_op"], ns)
+                if allocs is not None:
+                    e["allocs_per_op"] = max(e["allocs_per_op"] or 0, allocs)
     return cpu, benches, order
 
 cpu, benches, order = parse(os.environ["BENCH_RAW"])
@@ -141,11 +162,19 @@ if baseline:
     doc["baseline"] = baseline
 doc["benchmarks"] = {name: benches[name] for name in order}
 if benches4:
+    cpus = os.environ.get("BENCH_CPUS", "unknown")
+    sweep_valid = cpus.isdigit() and int(cpus) > 1
     w4 = {"note": "same suite at CHOPIM_BENCH_WORKERS=4: MixedHostNDA uses the "
-                  "channel-domain executor (SimWorkers=4, 2 channel domains on the "
-                  "default geometry), Fig11BankPartitioning point-level runner "
-                  "sharding (Parallel=4). Speedup needs free CPUs (see cpus); on a "
-                  "single-CPU machine this measures scheduling overhead instead."}
+                  "sim-internal executor (SimWorkers=4) fanning both the channel "
+                  "domains (2 on the default geometry) and the core-sharded CPU "
+                  "front-end, Fig11BankPartitioning point-level runner sharding "
+                  "(Parallel=4). Speedup needs free CPUs: workers_sweep_valid "
+                  "records whether this machine has them; when false the numbers "
+                  "measure scheduling overhead, not scaling.",
+          "workers_sweep_valid": sweep_valid}
+    if not sweep_valid:
+        w4["note"] += (f" This run had cpus={cpus}: the workers sweep is labeled "
+                       "invalid and speedups here are overhead measurements.")
     for name in order4:
         e = dict(benches4[name])
         base = benches.get(name, {}).get("ns_per_op")
@@ -204,14 +233,35 @@ if base and ckpt:
         sys.exit(f"bench.sh: FAIL: checkpoint cadence costs {ratio}x per cycle, want <=1.05")
 
 # Zero-allocs gate: every host-path benchmark's steady-state loop must
-# stay allocation-free.
+# stay allocation-free — including the 4-worker run, where the
+# core-sharded front-end's claims, deferred ticks, and parked-tick
+# commits must all come from preallocated state.
 bad = []
 for name in ("MixedHostNDA", "HostStallHeavy", "HostComputeHeavy", "Fig14Wide8Ranks"):
     allocs = benches.get(name, {}).get("allocs_per_op")
     if allocs not in (None, 0):
         bad.append(f"{name}: {allocs} allocs/op, want 0")
+allocs4 = benches4.get("MixedHostNDA", {}).get("allocs_per_op")
+if allocs4 not in (None, 0):
+    bad.append(f"MixedHostNDA @4 workers: {allocs4} allocs/op, want 0")
 if bad:
     sys.exit("bench.sh: FAIL: steady-state loop allocates: " + "; ".join(bad))
+
+# Overhead gate on machines without free CPUs: with no parallelism to
+# win, the 4-worker executor (channel-domain rounds plus the
+# core-sharded front-end) may cost at most 5% over the serial path.
+if benches4 and not doc["workers4"]["workers_sweep_valid"]:
+    base = benches.get("MixedHostNDA", {}).get("ns_per_op")
+    par = benches4.get("MixedHostNDA", {}).get("ns_per_op")
+    if base and par:
+        ratio = round(par / base, 3)
+        doc["workers4"]["overhead_ratio_vs_serial"] = ratio
+        with open(out, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+        if ratio > 1.05:
+            sys.exit(f"bench.sh: FAIL: 4-worker executor costs {ratio}x the serial "
+                     "front-end on a machine without free CPUs, want <=1.05")
 EOF
 
 echo "bench.sh: wrote $OUT"
