@@ -113,12 +113,29 @@ func BenchmarkNDAOnlySweepFastParallel(b *testing.B) {
 // zero (the steady-state loop is pooled end to end —
 // TestTickLoopAllocFree pins the same property).
 func BenchmarkMixedHostNDA(b *testing.B) {
+	benchMixedHostNDA(b, benchWorkers())
+}
+
+// BenchmarkMixedHostNDAWorkers4 is the same workload with the
+// sim-internal executor forced to 4 workers regardless of
+// CHOPIM_BENCH_WORKERS. It rides in the serial suite so that
+// scripts/bench.sh's overhead gate (executor cost on machines without
+// free CPUs, <=1.15x serial; see the threshold history there)
+// compares two numbers from the same go test invocation, seconds
+// apart; comparing the serial run against the separate
+// CHOPIM_BENCH_WORKERS=4 invocation minutes later turned the gate
+// into a load-era lottery on shared single-CPU containers.
+func BenchmarkMixedHostNDAWorkers4(b *testing.B) {
+	benchMixedHostNDA(b, 4)
+}
+
+func benchMixedHostNDA(b *testing.B, workers int) {
 	const measureCycles = 100_000
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		cfg := sim.Default(1)
-		cfg.SimWorkers = benchWorkers()
+		cfg.SimWorkers = workers
 		s, err := sim.New(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -375,6 +392,34 @@ func BenchmarkFig11BankPartitioning(b *testing.B) {
 		if r.SharedDOT.NDAUtil > 0 {
 			b.ReportMetric(r.PartDOT.NDAUtil/r.SharedDOT.NDAUtil, "partitioning-DOT-gain")
 		}
+	}
+}
+
+// BenchmarkFig11Sampled regenerates Figure 11 in SMARTS-style sampled
+// mode with a production-shaped schedule (165k cycles per point: 1k
+// detailed prime, then 8 windows of 20k fast-forward, 200 warm-up, 300
+// measured — the default schedule's FF length with a trimmed detailed
+// fraction). It reports sim-cycles-per-op so scripts/bench.sh can gate
+// simulation THROUGHPUT — ns per simulated cycle, the standard sampled-
+// simulation speedup metric — against BenchmarkFig11BankPartitioning's
+// exact 45k-cycle points at >=10x. A matched-span ns/op ratio would
+// understate the win: the whole point of sampling is that long spans
+// cost almost nothing beyond their detailed windows, so the benchmark
+// covers 3.7x the exact span and still finishes several times sooner.
+func BenchmarkFig11Sampled(b *testing.B) {
+	opt := benchOptions()
+	opt.Sampled = true
+	opt.Sample = sim.SampleConfig{Windows: 8, Detail: 300, Warmup: 200, FF: 20000, Prime: 1000}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[len(rows)-1]
+		if r.SharedDOT.NDAUtil > 0 {
+			b.ReportMetric(r.PartDOT.NDAUtil/r.SharedDOT.NDAUtil, "partitioning-DOT-gain")
+		}
+		b.ReportMetric(float64(opt.Sample.TotalCycles()), "sim-cycles")
 	}
 }
 

@@ -129,6 +129,14 @@ func run() (code int) {
 		"cycles between durable mid-point checkpoints of each in-flight simulation (0 = off; requires -checkpoint DIR)")
 	onInterrupt := flag.String("on-interrupt", "checkpoint",
 		"first SIGINT/SIGTERM behavior: checkpoint (cancel points at a quiescent boundary and persist them), drain (finish in-flight points, admit no more), abort (exit immediately)")
+	sampled := flag.Bool("sampled", false,
+		"SMARTS-style sampled execution: short detailed windows separated by functional fast-forward, reporting per-window means (approximate; see DESIGN.md §2.11)")
+	sampleWindows := flag.Int("sample-windows", 0,
+		"sampled mode: measured detailed windows per point (0 = default 8; implies -sampled)")
+	sampleDetail := flag.Int64("sample-detail", 0,
+		"sampled mode: measured cycles per window (0 = default 1000; implies -sampled)")
+	sampleFF := flag.Int64("sample-ff", 0,
+		"sampled mode: functionally fast-forwarded cycles between windows (0 = default 20000; implies -sampled)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: chopim [flags] <fig2|fig10|fig11|fig12|fig13|fig14|fig15a|fig15b|power|config|all>\n")
 		flag.PrintDefaults()
@@ -213,6 +221,15 @@ func run() (code int) {
 		}
 	}
 	opt.CheckpointEvery = *ckptEvery
+	if *sampleWindows > 0 || *sampleDetail > 0 || *sampleFF > 0 {
+		*sampled = true
+	}
+	if *sampled {
+		opt.Sampled = true
+		opt.Sample.Windows = *sampleWindows
+		opt.Sample.Detail = *sampleDetail
+		opt.Sample.FF = *sampleFF
+	}
 	cancel := &experiments.Canceler{}
 	opt.Cancel = cancel
 	var interrupted atomic.Bool

@@ -31,6 +31,11 @@ type Mapper interface {
 	// system-row-aligned allocations whose addresses agree on these bits
 	// interleave identically across the memory system.
 	ColorBits() []uint
+	// Fingerprint identifies the mapping function: two mappers with equal
+	// fingerprints decode every physical address identically. Decoded-
+	// layout caches key on it to share results across mapper instances
+	// (e.g. forked simulations rebuilt from a snapshot).
+	Fingerprint() string
 }
 
 // field describes one decoded output bit as the XOR of physical bits.
@@ -57,6 +62,7 @@ type XORMap struct {
 	ch, rank, bg, bank, row, col field
 	colorBits                    []uint
 	rowMSBs                      []uint // top bank-field-width row physical bits
+	fp                           string // immutable, set at construction
 }
 
 // log2 returns floor(log2(n)); n must be a positive power of two.
@@ -164,6 +170,10 @@ func NewSkylakeLikeChecked(g dram.Geometry) (*XORMap, error) {
 	for i := uint(0); i < nBankField; i++ {
 		m.rowMSBs = append(m.rowMSBs, top-nBankField+i)
 	}
+	// The Skylake-like layout is a pure function of the geometry, so the
+	// geometry identifies the mapping exactly.
+	m.fp = fmt.Sprintf("skylake/%dch-%drk-%dbg-%dbk-%drow-%dcol",
+		g.Channels, g.Ranks, g.BankGroups, g.BanksPerGroup, g.Rows, g.Cols)
 	return m, nil
 }
 
@@ -184,6 +194,9 @@ func (m *XORMap) Geometry() dram.Geometry { return m.geom }
 
 // ColorBits implements Mapper.
 func (m *XORMap) ColorBits() []uint { return m.colorBits }
+
+// Fingerprint implements Mapper.
+func (m *XORMap) Fingerprint() string { return m.fp }
 
 // AddressBits returns the number of physical address bits the mapping
 // consumes (log2 of capacity).
@@ -277,6 +290,11 @@ func (p *PartitionedMap) Geometry() dram.Geometry { return p.Base.geom }
 
 // ColorBits implements Mapper.
 func (p *PartitionedMap) ColorBits() []uint { return p.Base.ColorBits() }
+
+// Fingerprint implements Mapper.
+func (p *PartitionedMap) Fingerprint() string {
+	return fmt.Sprintf("%s/part%d", p.Base.Fingerprint(), p.ReservedBanks)
+}
 
 // IsSharedBank reports whether the rank-local flat bank index belongs to
 // the reserved (shared host+NDA) partition.

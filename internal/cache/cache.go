@@ -10,7 +10,10 @@
 // clock-converting callback installed by the hierarchy.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config sizes one cache level.
 type Config struct {
@@ -55,6 +58,8 @@ type Cache struct {
 	cfg   Config
 	lines []line
 	nsets uint64
+	smask uint64 // nsets-1; Validate guarantees nsets is a power of two
+	shift uint   // log2(nsets)
 	ways  int
 	clock uint64
 
@@ -81,6 +86,8 @@ func New(cfg Config) *Cache {
 		cfg:   cfg,
 		lines: make([]line, cfg.Sets()*cfg.Ways),
 		nsets: uint64(cfg.Sets()),
+		smask: uint64(cfg.Sets()) - 1,
+		shift: uint(bits.TrailingZeros64(uint64(cfg.Sets()))),
 		ways:  cfg.Ways,
 	}
 }
@@ -89,7 +96,10 @@ func New(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 func (c *Cache) index(block uint64) (set int, tag uint64) {
-	return int(block % c.nsets), block / c.nsets
+	// Sets() is validated to be a power of two, so mask/shift compute
+	// exactly block%nsets and block/nsets without two 64-bit divisions
+	// on the hottest path in the simulator.
+	return int(block & c.smask), block >> c.shift
 }
 
 // set returns the set's ways as a subslice of the flat line array.
@@ -242,6 +252,18 @@ func (c *Cache) dirtyVictim(block, mruBlock uint64, haveMRU bool) (victim uint64
 		return 0, false
 	}
 	return v.tag*c.nsets + uint64(set), true
+}
+
+// ValidLines counts resident lines (the warm-state fidelity metric the
+// sampled-mode fuzz compares between functional and exact warming).
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
 }
 
 // Invalidate drops the block if present, reporting whether it was dirty.

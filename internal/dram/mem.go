@@ -272,6 +272,44 @@ func (m *Mem) OpenRow(a Addr) (row int, open bool) {
 	return b.row, b.open
 }
 
+// WarmOpen sets the addressed bank's row state — open at a.Row — at
+// functional fidelity, modeling the activation the exact path would
+// have performed for this access during a sampled-mode fast-forward
+// jump (DESIGN.md §2.11). Timing horizons are left alone: the jump
+// lands past every pre-jump horizon, so they are already dead. The
+// rank's stamp, its rowStamp, and the channel command version all
+// advance so every cached scheduler conclusion derived from the old
+// row state (per-bank horizon caches, mc calendar keys, NDA sleep
+// bounds) is invalidated before detailed execution resumes.
+func (m *Mem) WarmOpen(a Addr) {
+	m.checkAddr(a)
+	rk := m.rank(a)
+	b := &rk.banks[a.GlobalBank(m.Geom)]
+	b.open = true
+	b.row = a.Row
+	rk.stamp++
+	rk.rowStamp++
+	m.chVer[a.Channel]++
+}
+
+// OpenBanks counts banks currently holding an open row, across all
+// channels and ranks. A coarse row-state summary for warm-state
+// fidelity checks of the sampled fast-forward path.
+func (m *Mem) OpenBanks() int {
+	n := 0
+	for c := range m.channels {
+		for r := range m.channels[c].ranks {
+			banks := m.channels[c].ranks[r].banks
+			for b := range banks {
+				if banks[b].open {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
 // RankDataBusyUntil returns the cycle at which the rank's data path is free.
 func (m *Mem) RankDataBusyUntil(channel, rank int) int64 {
 	return m.channels[channel].ranks[rank].dataBusyUntil

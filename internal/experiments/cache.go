@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"chopim/internal/atomicio"
+	"chopim/internal/sim"
 )
 
 // cacheSchema names the simulation-model version baked into every cache
@@ -41,7 +42,9 @@ func (o Options) cacheKey(fig string) string {
 		MeasureCycles int64
 		Quick         bool
 		CycleByCycle  bool
-	}{cacheSchema, fig, o.WarmCycles, o.MeasureCycles, o.Quick, o.CycleByCycle}
+		Sampled       bool
+		Sample        sim.SampleConfig
+	}{cacheSchema, fig, o.WarmCycles, o.MeasureCycles, o.Quick, o.CycleByCycle, o.Sampled, o.Sample}
 	b, err := json.Marshal(k)
 	if err != nil {
 		panic("experiments: cache key not marshalable: " + err.Error())

@@ -40,6 +40,20 @@ type Options struct {
 	SimWorkers    int
 	CycleByCycle  bool
 
+	// Sampled switches every measurement point to SMARTS-style sampled
+	// execution (sim.System.RunSampled, DESIGN.md §2.11): short detailed
+	// windows separated by functional fast-forward, with metrics
+	// reported as per-window means. Sample is the schedule; zero fields
+	// take the sim defaults. WarmCycles and MeasureCycles are ignored on
+	// sampled points — the schedule's prime segment is the warm-up and
+	// its windows are the measurement — as are the mid-point checkpoint
+	// and warm-pool machinery (sampled points are cheap by
+	// construction). Mutually exclusive with CycleByCycle; the figure
+	// cache keys on both the flag and the schedule, so sampled rows
+	// never satisfy exact lookups.
+	Sampled bool
+	Sample  sim.SampleConfig
+
 	// ProfileDomains enables sim.Config.ProfileDomains on every point
 	// this harness builds; the per-point histograms are merged
 	// process-wide as points complete (ReadPhaseSpans). Spans are only
@@ -233,6 +247,9 @@ type launcher func() (*ndart.Handle, error)
 // executor (if one was started) before returning; the system stays
 // readable for post-run counter extraction.
 func measureConcurrent(s *sim.System, it launcher, opt Options) (Result, error) {
+	if opt.Sampled {
+		return measureSampled(s, it, opt)
+	}
 	defer s.Close()
 	defer mergePhaseSpans(s.PhaseSpans())
 	var h *ndart.Handle
@@ -393,6 +410,55 @@ func measureConcurrent(s *sim.System, it launcher, opt Options) (Result, error) 
 	// so the mid-point file has nothing left to resume.
 	ckpt.remove()
 	return finalize(), nil
+}
+
+// measureSampled is measureConcurrent's sampled-execution twin: it
+// drives the point through sim.RunSampled and maps the per-window means
+// onto the exact path's Result shape, so every figure renders sampled
+// rows without change. NDA work relaunches at window boundaries — the
+// schedule's only quiescent points — rather than cycle-exactly, one of
+// the sampled mode's documented approximations. NDABlocks and HostBusy
+// are whole-run totals (blocks include functionally-drained work; busy
+// cycles accumulate only in detailed segments), kept for rough scale,
+// not cross-mode comparison.
+func measureSampled(s *sim.System, it launcher, opt Options) (Result, error) {
+	defer s.Close()
+	defer mergePhaseSpans(s.PhaseSpans())
+	if opt.CycleByCycle {
+		return Result{}, fmt.Errorf("experiments: Sampled and CycleByCycle are mutually exclusive")
+	}
+	var h *ndart.Handle
+	relaunch := func() error {
+		if it == nil {
+			return nil
+		}
+		if h == nil || h.Done() {
+			var err error
+			if h, err = it(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := relaunch(); err != nil {
+		return Result{}, err
+	}
+	res, err := s.RunSampledFunc(opt.Sample, func(int) error { return relaunch() })
+	if err != nil {
+		return Result{}, err
+	}
+	for _, c := range s.MCs {
+		c.FinalizeStats(s.Now())
+	}
+	return Result{
+		HostIPC:   res.HostIPC.Mean,
+		NDAUtil:   res.NDAUtil.Mean,
+		NDABWGBs:  res.NDABWGBs.Mean,
+		HostBWGBs: res.HostBWGBs.Mean,
+		NDABlocks: s.NDABlocks(),
+		HostBusy:  s.HostBusyCycles(),
+		Cycles:    res.TotalCycles,
+	}, nil
 }
 
 // microVectorElems returns a Private vector length giving each rank

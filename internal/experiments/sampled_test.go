@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"chopim/internal/sim"
+)
+
+// sampledTestOptions is a quick budget with a small sampled schedule:
+// fast enough for a unit test, long enough that every Fig 11 point
+// fast-forwards most of its span.
+func sampledTestOptions() Options {
+	opt := QuickOptions()
+	opt.Sampled = true
+	opt.Sample = sim.SampleConfig{Windows: 4, Detail: 300, Warmup: 200, FF: 2000, Prime: 1000}
+	return opt
+}
+
+// TestSampledFigureSmoke drives a whole figure through sampled
+// execution: rows come back populated (nonzero host IPC, NDA
+// utilization where NDA work runs, cycle accounting equal to the
+// schedule) and a second run is byte-identical — sampled mode keeps
+// the determinism contract of the exact path.
+func TestSampledFigureSmoke(t *testing.T) {
+	opt := sampledTestOptions()
+	rows, err := Fig11(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.SharedDOT.HostIPC <= 0 || r.IdealHostIPC <= 0 {
+			t.Errorf("mix %s: non-positive sampled host IPC: %+v", r.Mix, r)
+		}
+		if r.SharedDOT.NDAUtil <= 0 {
+			t.Errorf("mix %s: NDA ran but sampled utilization is %v", r.Mix, r.SharedDOT.NDAUtil)
+		}
+		if want := opt.Sample.TotalCycles(); r.SharedDOT.Cycles != want {
+			t.Errorf("mix %s: point covered %d cycles, schedule says %d", r.Mix, r.SharedDOT.Cycles, want)
+		}
+	}
+	again, err := Fig11(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, again) {
+		t.Fatalf("sampled figure not deterministic:\n first: %+v\n again: %+v", rows, again)
+	}
+}
+
+// TestSampledCacheKey pins the cache-key contract: toggling Sampled or
+// changing the schedule must miss (different simulated quantity), so a
+// sampled run can never replay an exact run's rows or vice versa.
+func TestSampledCacheKey(t *testing.T) {
+	exact := QuickOptions()
+	samp := sampledTestOptions()
+	if exact.cacheKey("fig11") == samp.cacheKey("fig11") {
+		t.Fatal("cache key ignores Sampled")
+	}
+	samp2 := samp
+	samp2.Sample.FF = 3000
+	if samp2.cacheKey("fig11") == samp.cacheKey("fig11") {
+		t.Fatal("cache key ignores the sampled schedule")
+	}
+}
+
+// TestSampledRejectsCycleByCycle pins the mutual exclusion: sampled
+// execution cannot honor a cycle-by-cycle reference request.
+func TestSampledRejectsCycleByCycle(t *testing.T) {
+	opt := sampledTestOptions()
+	opt.CycleByCycle = true
+	_, err := Fig11(opt)
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("want mutual-exclusion error, got %v", err)
+	}
+}

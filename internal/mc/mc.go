@@ -138,15 +138,17 @@ type Controller struct {
 	// state: enqueues, overflow refills, and column issues (dequeues).
 	// It deliberately excludes row/refresh commands (markRowCmd), which
 	// bump ver but leave every queue-derived input unchanged. The NDA
-	// engine's per-rank sleep bounds revalidate on qver instead of ver:
-	// the impure NDA branches read OldestReadRank (the rq head) and
-	// HasDemandFor/HasAnyDemandFor (bucket occupancy), and NDA timing
-	// checks are rank-local (nda=true NextIssue, no channel bus) — so a
-	// host ACT/PRE elsewhere cannot change the taken branch, and a
-	// row/REF command to the NDA's own rank already forces a tick
-	// through the dispatcher's RankBusy rule. This is the same
-	// staleness split the calendar applies to bank entries (rkStamp vs
-	// bucket dirtiness), applied to the engine's controller inputs.
+	// engine's per-rank sleep bounds revalidate on the still-narrower
+	// NDAVer(rank): the impure NDA branches read OldestReadRank (the rq
+	// head) and HasDemandFor (bucket occupancy of the NDA's own rank),
+	// and NDA timing checks are rank-local (nda=true NextIssue, no
+	// channel bus) — so a host ACT/PRE elsewhere cannot change the
+	// taken branch, queue churn confined to other ranks' buckets cannot
+	// either, and a row/REF command to the NDA's own rank already
+	// forces a tick through the dispatcher's RankBusy rule. This is the
+	// same staleness split the calendar applies to bank entries
+	// (rkStamp vs bucket dirtiness), applied to the engine's controller
+	// inputs.
 	qver uint64
 
 	// seen/seenGen implement the reference scheduler's per-Tick
@@ -216,6 +218,26 @@ func (c *Controller) Ver() uint64 { return c.ver }
 
 // QVer returns the queue-mutation counter (see qver).
 func (c *Controller) QVer() uint64 { return c.qver }
+
+// NDAVer returns a version counter over exactly the queue state the NDA
+// engine's impure sleep bounds read for the given rank: the read-queue
+// head identity (OldestReadRank's only input) and the rank's per-bank
+// bucket-occupancy zero-crossings in both queues (the only transitions
+// that can flip a HasDemandFor answer). It narrows qver the way qver
+// narrows ver: queue churn that provably cannot change the rank's taken
+// NDA branch — writes queued or drained against other ranks' banks,
+// column issues that neither move the read-queue head nor empty a
+// bucket of this rank — leaves it unchanged, so the rank's cached sleep
+// bound survives. A sum of monotone counters, so equality means none of
+// the covered inputs moved. O(channels) counter reads — effectively
+// O(1).
+func (c *Controller) NDAVer(rank int) uint64 {
+	v := c.rq.headVer
+	for g := rank; g < len(c.rq.demVer); g += c.nrank {
+		v += c.rq.demVer[g] + c.wq.demVer[g]
+	}
+	return v
+}
 
 // ClearIssued resets the per-cycle issued-command scratch without
 // running a Tick. The wake-driven system scheduler calls it on cycles

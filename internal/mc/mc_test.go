@@ -201,3 +201,58 @@ func TestRefreshScheduling(t *testing.T) {
 		t.Error("reads starved by refresh")
 	}
 }
+
+// addrOnChRank finds a block address decoding to channel 0 and the
+// given rank.
+func addrOnChRank(m addrmap.Mapper, rank int, start uint64) uint64 {
+	for a := start; ; a += dram.BlockBytes {
+		if d := m.Decode(a); d.Channel == 0 && d.Rank == rank {
+			return a
+		}
+	}
+}
+
+// TestNDAVerNarrowsQVer pins the per-rank staleness contract the NDA
+// engine relies on: NDAVer(r) moves exactly when rank r's sleep-bound
+// inputs (read-queue head identity, rank-r bucket occupancy in either
+// queue) can have moved, even while QVer churns on unrelated traffic.
+func TestNDAVerNarrowsQVer(t *testing.T) {
+	c, _, m := testController()
+	a0 := addrOnChRank(m, 0, 0)
+	a1 := addrOnChRank(m, 1, 0)
+
+	v0, q := c.NDAVer(0), c.QVer()
+	// A write to rank 1 must churn QVer but stay invisible to rank 0.
+	c.EnqueueWrite(a1, 0)
+	if c.QVer() == q {
+		t.Fatal("write did not move QVer")
+	}
+	if c.NDAVer(0) != v0 {
+		t.Error("rank-1 write moved NDAVer(0)")
+	}
+	// It occupies a rank-1 bucket, so rank 1 must see it...
+	v1 := c.NDAVer(1)
+	if v1 == v0 {
+		t.Error("rank-1 write invisible to NDAVer(1)")
+	}
+	// ...but a second write into the same occupied bucket changes no
+	// HasDemandFor answer and must be invisible to both ranks.
+	c.EnqueueWrite(a1, 0)
+	if c.NDAVer(0) != v0 || c.NDAVer(1) != v1 {
+		t.Error("same-bucket write moved a per-rank version")
+	}
+
+	// A read into the empty read queue changes the head identity, which
+	// OldestReadRank on any rank observes.
+	c.EnqueueRead(a0, 0, nil)
+	if c.NDAVer(0) == v0 || c.NDAVer(1) == v1 {
+		t.Error("read-head change invisible to a rank")
+	}
+	v0, v1 = c.NDAVer(0), c.NDAVer(1)
+	// A second read behind the head into the same occupied bucket moves
+	// neither the head nor any bucket occupancy.
+	c.EnqueueRead(a0, 0, nil)
+	if c.NDAVer(0) != v0 || c.NDAVer(1) != v1 {
+		t.Error("same-bucket tail read moved a per-rank version")
+	}
+}

@@ -32,10 +32,23 @@ type reqQueue struct {
 	n          int
 	shift      uint // log2(banks per rank group): bankKey >> shift = rank group
 
-	banks  []bankList // indexed by Request.bankKey
-	rankN  []int      // queued requests per (channel, rank) group
-	occ    []int32    // occupied bank keys, unordered (swap-removed)
-	occPos []int32    // bankKey -> index into occ, -1 when absent
+	banks []bankList // indexed by Request.bankKey
+	rankN []int      // queued requests per (channel, rank) group
+
+	// headVer and demVer narrow the controller's qver for the NDA
+	// engine's per-rank revalidation (Controller.NDAVer). headVer
+	// advances exactly when the queue's age-order head changes — the
+	// only input OldestReadRank reads. demVer[g] advances exactly when
+	// some bucket of rank group g crosses between empty and occupied —
+	// the only transitions that can flip a HasDemandFor answer for that
+	// rank. Both are monotone; queue churn that moves neither (a push
+	// behind an existing head into an already-occupied bucket, a remove
+	// that leaves its bucket non-empty) is invisible to every per-rank
+	// NDA branch and bumps neither counter.
+	headVer uint64
+	demVer  []uint64
+	occ     []int32 // occupied bank keys, unordered (swap-removed)
+	occPos  []int32 // bankKey -> index into occ, -1 when absent
 	// sched is the per-bank scheduling cache, kept DENSE: sched[i] is
 	// the entry for occ[i], maintained through the same swap-removal.
 	// The calendar's examine loops resolve entries through occPos; the
@@ -96,6 +109,7 @@ func (q *reqQueue) init(rankGroups, banksPerRank, localRanks int) {
 	q.banks = make([]bankList, nb)
 	q.sched = make([]bankEntry, 0, nb)
 	q.rankN = make([]int, rankGroups)
+	q.demVer = make([]uint64, rankGroups)
 	q.occ = make([]int32, 0, nb)
 	q.occPos = make([]int32, nb)
 	q.rgHead = make([]int32, rankGroups)
@@ -128,6 +142,7 @@ func (q *reqQueue) push(r *Request) {
 		q.tail.qnext = r
 	} else {
 		q.head = r
+		q.headVer++
 	}
 	q.tail = r
 	q.n++
@@ -144,6 +159,7 @@ func (q *reqQueue) push(r *Request) {
 		q.calForceReady(r.bankKey)
 	} else {
 		bl.head = r
+		q.demVer[r.bankKey>>q.shift]++ // bucket empty -> occupied
 		q.occPos[r.bankKey] = int32(len(q.occ))
 		q.occ = append(q.occ, r.bankKey)
 		q.sched = append(q.sched, bankEntry{dirty: true})
@@ -161,6 +177,7 @@ func (q *reqQueue) remove(r *Request) {
 		r.qprev.qnext = r.qnext
 	} else {
 		q.head = r.qnext
+		q.headVer++
 	}
 	if r.qnext != nil {
 		r.qnext.qprev = r.qprev
@@ -183,6 +200,7 @@ func (q *reqQueue) remove(r *Request) {
 	}
 	bl.n--
 	if bl.n == 0 {
+		q.demVer[r.bankKey>>q.shift]++ // bucket occupied -> empty
 		// Swap-remove the bank (and its dense sched entry) from the
 		// occupied set.
 		i := q.occPos[r.bankKey]

@@ -9,6 +9,7 @@ package ndart
 
 import (
 	"fmt"
+	"sync"
 
 	"chopim/internal/addrmap"
 	"chopim/internal/dram"
@@ -98,7 +99,11 @@ type Runtime struct {
 	// decodeCache memoizes indexBlocks results per (base, bytes) span.
 	// The decode depends only on the span and the runtime's fixed address
 	// mapping, so views over the same blocks (Matrix.RowView on every
-	// relaunch) share one immutable layout instead of re-decoding.
+	// relaunch) share one immutable layout instead of re-decoding. It is
+	// the lock-free first level in front of the process-global
+	// globalDecode cache, which additionally shares layouts across
+	// runtimes with the same mapping (checkpoint forks, sweep points over
+	// one geometry).
 	decodeCache map[layoutKey]*vecLayout
 
 	// pendingLaunches tracks control-register writes still in flight in
@@ -133,6 +138,30 @@ type vecLayout struct {
 	rankBlocks [][][]int32
 	addrs      []dram.Addr
 }
+
+// globalLayoutKey identifies a decoded span across runtimes: the mapper
+// fingerprint pins the mapping function, so equal keys imply identical
+// decodes.
+type globalLayoutKey struct {
+	mapper      string
+	base, bytes uint64
+}
+
+// globalDecode is the process-wide second level of the decode cache.
+// Snapshot restores and sweep forks build fresh runtimes whose
+// first-level caches start empty; without this level every fork
+// re-decodes every operand block on its first relaunch. Entries are
+// immutable, so sharing across concurrently running systems is safe.
+var globalDecode = struct {
+	sync.Mutex
+	m map[globalLayoutKey]*vecLayout
+}{m: make(map[globalLayoutKey]*vecLayout)}
+
+// globalDecodeCap bounds the global cache. On overflow the whole map is
+// dropped: entries are pure functions of their keys and cheap to
+// rebuild, and a plain reset beats tracking recency for a cache that
+// overflows only on pathological sweep diversity.
+const globalDecodeCap = 4096
 
 // launchRec is one in-flight launch packet's payload.
 type launchRec struct {
@@ -272,6 +301,15 @@ func (v *Vector) indexBlocks() {
 		v.rankBlocks, v.addrs = l.rankBlocks, l.addrs
 		return
 	}
+	gkey := globalLayoutKey{mapper: v.rt.mapper.Fingerprint(), base: v.base, bytes: v.bytes}
+	globalDecode.Lock()
+	l, ok := globalDecode.m[gkey]
+	globalDecode.Unlock()
+	if ok {
+		v.rankBlocks, v.addrs = l.rankBlocks, l.addrs
+		v.rt.decodeCache[key] = l
+		return
+	}
 	g := v.rt.geom
 	v.rankBlocks = make([][][]int32, g.Channels)
 	for ch := range v.rankBlocks {
@@ -284,7 +322,14 @@ func (v *Vector) indexBlocks() {
 		v.addrs[b] = a
 		v.rankBlocks[a.Channel][a.Rank] = append(v.rankBlocks[a.Channel][a.Rank], b)
 	}
-	v.rt.decodeCache[key] = &vecLayout{rankBlocks: v.rankBlocks, addrs: v.addrs}
+	l = &vecLayout{rankBlocks: v.rankBlocks, addrs: v.addrs}
+	v.rt.decodeCache[key] = l
+	globalDecode.Lock()
+	if len(globalDecode.m) >= globalDecodeCap {
+		globalDecode.m = make(map[globalLayoutKey]*vecLayout)
+	}
+	globalDecode.m[gkey] = l
+	globalDecode.Unlock()
 }
 
 // shareBlocks returns rank (ch,r)'s share, as vector block indices.

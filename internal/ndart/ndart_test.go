@@ -262,3 +262,42 @@ func TestGuardOpsPassOnLegalTraffic(t *testing.T) {
 	}
 	h.run(t, hd, 10_000_000) // panics on any protection fault
 }
+
+// TestDecodeCacheSharedAcrossRuntimes exercises the process-global
+// decode cache: two runtimes over identical (but distinct) memory
+// systems perform the same allocation sequence, so their vectors cover
+// the same physical span under the same mapping and must share one
+// immutable decoded layout instead of each re-decoding it.
+func TestDecodeCacheSharedAcrossRuntimes(t *testing.T) {
+	h1 := newHarness(t)
+	h2 := newHarness(t)
+	v1, err := h1.rt.NewVector(64*1024, Shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := h2.rt.NewVector(64*1024, Shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.base != v2.base || v1.bytes != v2.bytes {
+		t.Fatalf("allocation sequences diverged: (%#x,%d) vs (%#x,%d)",
+			v1.base, v1.bytes, v2.base, v2.bytes)
+	}
+	if len(v1.addrs) == 0 || &v1.addrs[0] != &v2.addrs[0] {
+		t.Error("identical spans decoded twice: layouts not shared across runtimes")
+	}
+}
+
+// TestDecodeCacheDistinguishesMappings pins the fingerprint key: the
+// same physical span under a different bank reservation decodes
+// differently and must not share a layout.
+func TestDecodeCacheDistinguishesMappings(t *testing.T) {
+	a := addrmap.NewPartitioned(addrmap.NewSkylakeLike(dram.DefaultGeometry()), 1)
+	b := addrmap.NewPartitioned(addrmap.NewSkylakeLike(dram.DefaultGeometry()), 2)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("distinct reservations share a fingerprint")
+	}
+	if a.Fingerprint() != addrmap.NewPartitioned(addrmap.NewSkylakeLike(dram.DefaultGeometry()), 1).Fingerprint() {
+		t.Fatal("equal mappings have unequal fingerprints")
+	}
+}

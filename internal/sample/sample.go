@@ -1,0 +1,182 @@
+// Package sample implements the statistics side of SMARTS-style sampled
+// simulation (Wunderlich et al., ISCA'03, adapted to this simulator in
+// DESIGN.md §2.11): systematic sampling of detailed measurement windows
+// separated by functional fast-forward, with per-metric point estimates
+// and standard-error-derived confidence intervals.
+//
+// The execution side lives in internal/sim (System.RunSampled); this
+// package holds the schedule configuration and the CI math so they can
+// be tested without a simulator instance.
+package sample
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config parameterizes one sampled run. All cycle quantities are DRAM
+// cycles. The schedule is:
+//
+//	prime (detailed, unmeasured)
+//	repeat Windows times:
+//	    FF (functional fast-forward)
+//	    Warmup (detailed, unmeasured)
+//	    Detail (detailed, measured)
+//
+// The prime segment serves two purposes: it warms microarchitectural
+// state from cold exactly as an unsampled run's warm-up would, and it
+// yields the initial per-core IPC and per-rank NDA-rate estimates the
+// first fast-forward segment scales its functional work by.
+type Config struct {
+	Windows int   // measured detailed windows (n of the CLT estimate)
+	Detail  int64 // measured cycles per window
+	Warmup  int64 // detailed-but-unmeasured prefix of each window
+	FF      int64 // functional fast-forward cycles between windows
+	Prime   int64 // initial detailed-but-unmeasured segment
+
+	// Z is the confidence z-score for the reported intervals
+	// (default 1.96, a 95% normal CI).
+	Z float64
+
+	// SystematicErr is the relative systematic-error floor folded into
+	// every CI in quadrature (default 0.02). Sampling error (the CLT
+	// term) vanishes as Windows grows, but functional fast-forward has
+	// fidelity limits that do not: frozen in-flight misses, untrained
+	// prefetchers, policy-free NDA drains. The floor keeps the reported
+	// interval honest when the per-window variance happens to be tiny.
+	SystematicErr float64
+}
+
+// WithDefaults fills zero fields with the default sampled schedule:
+// 8 windows of 1000 measured cycles behind 300 warm-up cycles, 20k
+// fast-forwarded cycles between windows, and a 2000-cycle prime.
+func (c Config) WithDefaults() Config {
+	if c.Windows == 0 {
+		c.Windows = 8
+	}
+	if c.Detail == 0 {
+		c.Detail = 1000
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 300
+	}
+	if c.FF == 0 {
+		c.FF = 20000
+	}
+	if c.Prime == 0 {
+		c.Prime = 2000
+	}
+	if c.Z == 0 {
+		c.Z = 1.96
+	}
+	if c.SystematicErr == 0 {
+		c.SystematicErr = 0.02
+	}
+	return c
+}
+
+// Validate rejects unusable schedules.
+func (c Config) Validate() error {
+	if c.Windows < 1 {
+		return fmt.Errorf("sample: Windows %d < 1", c.Windows)
+	}
+	if c.Detail < 1 {
+		return fmt.Errorf("sample: Detail %d < 1", c.Detail)
+	}
+	if c.Warmup < 0 || c.FF < 0 || c.Prime < 0 {
+		return fmt.Errorf("sample: negative segment length in %+v", c)
+	}
+	return nil
+}
+
+// TotalCycles returns the simulated-time span of the schedule.
+func (c Config) TotalCycles() int64 {
+	return c.Prime + int64(c.Windows)*(c.FF+c.Warmup+c.Detail)
+}
+
+// DetailedCycles returns the cycles executed through the exact machinery
+// (the cost side of the speedup ratio).
+func (c Config) DetailedCycles() int64 {
+	return c.Prime + int64(c.Windows)*(c.Warmup+c.Detail)
+}
+
+// Metric is one sampled measurement: the per-window observations, their
+// point estimate, and the derived confidence half-width.
+type Metric struct {
+	Mean float64
+	Std  float64 // sample standard deviation across windows (n-1)
+	CI   float64 // confidence half-width: Mean ± CI
+
+	PerWindow []float64
+}
+
+// NewMetric summarizes per-window observations under the CI model of
+// DESIGN.md §2.11: the sampling term z·s/√n from the CLT over window
+// means, combined in quadrature with the relative systematic floor
+// sysErr·|mean|.
+func NewMetric(perWindow []float64, z, sysErr float64) Metric {
+	m := Metric{PerWindow: perWindow}
+	n := len(perWindow)
+	if n == 0 {
+		return m
+	}
+	var sum float64
+	for _, v := range perWindow {
+		sum += v
+	}
+	m.Mean = sum / float64(n)
+	if n > 1 {
+		var ss float64
+		for _, v := range perWindow {
+			d := v - m.Mean
+			ss += d * d
+		}
+		m.Std = math.Sqrt(ss / float64(n-1))
+	}
+	sampling := 0.0
+	if n > 1 {
+		sampling = z * m.Std / math.Sqrt(float64(n))
+	}
+	systematic := sysErr * math.Abs(m.Mean)
+	m.CI = math.Sqrt(sampling*sampling + systematic*systematic)
+	return m
+}
+
+// Contains reports whether x lies inside the confidence interval.
+func (m Metric) Contains(x float64) bool {
+	return math.Abs(x-m.Mean) <= m.CI
+}
+
+// RelErr returns |Mean-x|/|x|, the relative error of the point estimate
+// against a reference value (0 when both are zero).
+func (m Metric) RelErr(x float64) float64 {
+	if x == 0 {
+		if m.Mean == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(m.Mean-x) / math.Abs(x)
+}
+
+// Result is one sampled run's output.
+type Result struct {
+	HostIPC   Metric // summed host IPC per window
+	NDABWGBs  Metric // NDA bandwidth, GB/s, per window
+	HostBWGBs Metric // host DRAM bandwidth, GB/s, per window
+	AvgPowerW Metric // memory-system average power, W, per window
+	NDAUtil   Metric // fraction of host-idle rank bandwidth captured
+
+	// Schedule accounting: cycles simulated in each mode.
+	DetailCycles int64 // exact cycles (prime + warm-ups + measured)
+	FFCycles     int64 // functionally fast-forwarded cycles
+	TotalCycles  int64 // full simulated span
+}
+
+// String renders the headline estimates.
+func (r *Result) String() string {
+	return fmt.Sprintf("IPC %.4f±%.4f  NDA %.2f±%.2f GB/s  host %.2f±%.2f GB/s  %.2f±%.2f W  (%d detailed / %d total cycles)",
+		r.HostIPC.Mean, r.HostIPC.CI, r.NDABWGBs.Mean, r.NDABWGBs.CI,
+		r.HostBWGBs.Mean, r.HostBWGBs.CI, r.AvgPowerW.Mean, r.AvgPowerW.CI,
+		r.DetailCycles, r.TotalCycles)
+}

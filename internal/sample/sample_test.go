@@ -1,0 +1,105 @@
+package sample
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConfigDefaultsAndAccounting(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if c.Windows != 8 || c.Detail != 1000 || c.Warmup != 300 || c.FF != 20000 || c.Prime != 2000 {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	wantTotal := int64(2000 + 8*(20000+300+1000))
+	if got := c.TotalCycles(); got != wantTotal {
+		t.Errorf("TotalCycles = %d, want %d", got, wantTotal)
+	}
+	wantDetail := int64(2000 + 8*(300+1000))
+	if got := c.DetailedCycles(); got != wantDetail {
+		t.Errorf("DetailedCycles = %d, want %d", got, wantDetail)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Windows: 0, Detail: 1},
+		{Windows: 1, Detail: 0},
+		{Windows: 1, Detail: 1, FF: -1},
+		{Windows: 1, Detail: 1, Warmup: -5},
+		{Windows: 1, Detail: 1, Prime: -5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d (%+v): want error, got nil", i, c)
+		}
+	}
+	ok := Config{Windows: 1, Detail: 1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("minimal config rejected: %v", err)
+	}
+}
+
+func TestMetricStats(t *testing.T) {
+	// Known values: mean 2, sample std 1 over {1,2,3}... use {1,2,3}.
+	m := NewMetric([]float64{1, 2, 3}, 1.96, 0)
+	if m.Mean != 2 {
+		t.Errorf("Mean = %v, want 2", m.Mean)
+	}
+	if math.Abs(m.Std-1) > 1e-12 {
+		t.Errorf("Std = %v, want 1", m.Std)
+	}
+	wantCI := 1.96 / math.Sqrt(3)
+	if math.Abs(m.CI-wantCI) > 1e-12 {
+		t.Errorf("CI = %v, want %v", m.CI, wantCI)
+	}
+}
+
+func TestMetricSystematicFloor(t *testing.T) {
+	// Zero variance: the CI must still be sysErr*|mean|, not zero.
+	m := NewMetric([]float64{4, 4, 4, 4}, 1.96, 0.02)
+	if m.Std != 0 {
+		t.Fatalf("Std = %v, want 0", m.Std)
+	}
+	if math.Abs(m.CI-0.08) > 1e-12 {
+		t.Errorf("CI = %v, want 0.08 (systematic floor)", m.CI)
+	}
+	if !m.Contains(4.07) || m.Contains(4.1) {
+		t.Errorf("Contains misbehaves around the floor: CI=%v", m.CI)
+	}
+}
+
+func TestMetricQuadrature(t *testing.T) {
+	// Both terms active: CI^2 = sampling^2 + systematic^2.
+	per := []float64{1, 3}
+	m := NewMetric(per, 2, 0.1)
+	sampling := 2 * m.Std / math.Sqrt(2)
+	systematic := 0.1 * 2
+	want := math.Sqrt(sampling*sampling + systematic*systematic)
+	if math.Abs(m.CI-want) > 1e-12 {
+		t.Errorf("CI = %v, want %v", m.CI, want)
+	}
+}
+
+func TestMetricRelErr(t *testing.T) {
+	m := NewMetric([]float64{2, 2}, 1.96, 0.02)
+	if got := m.RelErr(2.5); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("RelErr(2.5) = %v, want 0.2", got)
+	}
+	zero := NewMetric([]float64{0, 0}, 1.96, 0.02)
+	if got := zero.RelErr(0); got != 0 {
+		t.Errorf("RelErr(0) on zero metric = %v, want 0", got)
+	}
+	if got := m.RelErr(0); !math.IsInf(got, 1) {
+		t.Errorf("RelErr(0) on nonzero metric = %v, want +Inf", got)
+	}
+}
+
+func TestMetricEmpty(t *testing.T) {
+	m := NewMetric(nil, 1.96, 0.02)
+	if m.Mean != 0 || m.Std != 0 || m.CI != 0 {
+		t.Errorf("empty metric not zero: %+v", m)
+	}
+}

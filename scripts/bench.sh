@@ -27,8 +27,10 @@
 #               Parallel speedup requires free CPUs: the block records
 #               workers_sweep_valid (cpus > 1); when false the speedup
 #               numbers measure executor overhead, not scaling, and
-#               MixedHostNDA is instead gated at <=5% overhead versus
-#               the serial front-end.
+#               the executor is instead gated at <=1.15x serial via
+#               MixedHostNDAWorkers4, which rides in the serial suite
+#               so both sides of the ratio come from the same
+#               invocation (seconds apart, not minutes).
 #
 # The baseline block comes from the newest committed BENCH_PR*.json
 # older than the target PR (so each PR's snapshot carries its
@@ -39,9 +41,12 @@
 # or BenchmarkHostComputeHeavy report any steady-state allocations in
 # the tick loop (the allocation-free contract also pinned by
 # TestTickLoopAllocFree, TestStallHeavyAllocFree, and
-# TestComputeHeavyAllocFree), or if the durable-checkpoint cadence
+# TestComputeHeavyAllocFree), if the durable-checkpoint cadence
 # (BenchmarkMixedHostNDACheckpointed) costs more than 5% per simulated
-# cycle over the un-checkpointed MixedHostNDA.
+# cycle over the un-checkpointed MixedHostNDA, or if sampled mode
+# (BenchmarkFig11Sampled) simulates cycles less than 10x faster than
+# the exact Figure 11 benchmark (ns per simulated cycle; see the
+# sampled gate below).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -58,7 +63,7 @@ trap 'rm -f "$RAW" "$RAW4"' EXIT
 COUNT="${BENCH_COUNT:-3}"
 
 go test -run '^$' \
-    -bench 'BenchmarkMixedHostNDA$|BenchmarkMixedHostNDACheckpointed$|BenchmarkHostStallHeavy$|BenchmarkHostComputeHeavy$|BenchmarkFig14Wide8Ranks$|BenchmarkFig11BankPartitioning$|BenchmarkFig12WriteThrottling$|BenchmarkFig12CachedRegen$|BenchmarkCalibrationSpin$' \
+    -bench 'BenchmarkMixedHostNDA$|BenchmarkMixedHostNDAWorkers4$|BenchmarkMixedHostNDACheckpointed$|BenchmarkHostStallHeavy$|BenchmarkHostComputeHeavy$|BenchmarkFig14Wide8Ranks$|BenchmarkFig11BankPartitioning$|BenchmarkFig11Sampled$|BenchmarkFig12WriteThrottling$|BenchmarkFig12CachedRegen$|BenchmarkCalibrationSpin$' \
     -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$RAW"
 
 CHOPIM_BENCH_WORKERS=4 go test -run '^$' \
@@ -93,8 +98,14 @@ def parse(path):
             am = re.search(r"(\d+) allocs/op", m.group(3))
             if am:
                 allocs = int(am.group(1))
+            cycles = None
+            cm = re.search(r"(\d+(?:e\+?\d+)?(?:\.\d+)?) sim-cycles", m.group(3))
+            if cm:
+                cycles = int(float(cm.group(1)))
             if name not in benches:
                 benches[name] = {"ns_per_op": ns, "allocs_per_op": allocs}
+                if cycles:
+                    benches[name]["sim_cycles"] = cycles
                 order.append(name)
             else:
                 e = benches[name]
@@ -207,6 +218,36 @@ if uncached and cached:
     if speedup < 10:
         sys.exit(f"bench.sh: FAIL: cached regeneration only {speedup}x faster, want >=10x")
 
+# Sampled-simulation gate: Fig11 in SMARTS-style sampled mode must
+# simulate cycles >=10x faster than the exact Fig11 benchmark. The
+# metric is simulation throughput (ns per simulated cycle): the sampled
+# benchmark covers 165k cycles per point (its sim-cycles metric) while
+# the exact quick budget covers 45k (QuickOptions: 5k warm + 40k
+# measured), so a raw ns/op ratio would mix span with speed.
+EXACT_FIG11_CYCLES = 45000
+exact = benches.get("Fig11BankPartitioning", {}).get("ns_per_op")
+samp = benches.get("Fig11Sampled", {})
+if exact and samp.get("ns_per_op") and samp.get("sim_cycles"):
+    exact_per_cyc = exact / EXACT_FIG11_CYCLES
+    samp_per_cyc = samp["ns_per_op"] / samp["sim_cycles"]
+    speedup = round(exact_per_cyc / samp_per_cyc, 1)
+    doc["sampled"] = {
+        "note": "Fig11 regenerated in sampled mode (8 windows x 300 measured "
+                "cycles over a 165k-cycle span) versus exact simulation of the "
+                "45k-cycle quick budget; speedup is the ns-per-simulated-cycle "
+                "ratio, gated at >=10x. Accuracy is pinned separately by "
+                "TestSampledCICoverage (exact IPC inside the reported CI, "
+                "<=3% relative error, on every golden workload).",
+        "exact_ns_per_cycle": round(exact_per_cyc, 1),
+        "sampled_ns_per_cycle": round(samp_per_cyc, 1),
+        "speedup": speedup,
+    }
+    with open(out, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    if speedup < 10:
+        sys.exit(f"bench.sh: FAIL: sampled mode only {speedup}x exact throughput, want >=10x")
+
 # Checkpoint-overhead gate: MixedHostNDACheckpointed runs the same
 # workload with one durable checkpoint per 100k-cycle cadence interval
 # (snapshot on the measurement loop, encode+fsync on the background
@@ -237,7 +278,8 @@ if base and ckpt:
 # core-sharded front-end's claims, deferred ticks, and parked-tick
 # commits must all come from preallocated state.
 bad = []
-for name in ("MixedHostNDA", "HostStallHeavy", "HostComputeHeavy", "Fig14Wide8Ranks"):
+for name in ("MixedHostNDA", "MixedHostNDAWorkers4", "HostStallHeavy",
+             "HostComputeHeavy", "Fig14Wide8Ranks"):
     allocs = benches.get(name, {}).get("allocs_per_op")
     if allocs not in (None, 0):
         bad.append(f"{name}: {allocs} allocs/op, want 0")
@@ -249,19 +291,35 @@ if bad:
 
 # Overhead gate on machines without free CPUs: with no parallelism to
 # win, the 4-worker executor (channel-domain rounds plus the
-# core-sharded front-end) may cost at most 5% over the serial path.
+# core-sharded front-end) must stay within 15% of the serial path.
+# The 4-worker side is MixedHostNDAWorkers4 from the SAME go test
+# invocation as the serial benchmark (the two run seconds apart), not
+# the separate CHOPIM_BENCH_WORKERS=4 invocation minutes later: on a
+# shared container the two invocations can land in different load
+# eras, which turns a cross-invocation ratio into a lottery.
+#
+# Threshold history: PR 9 gated at 1.05 when the serial floor was
+# ~235ms/100k cycles. PR 10's power-of-two set-index cut the serial
+# floor to ~200-215ms while the executor's fixed handoff cost
+# (~18ms/100k cycles, ~60ns per phase barrier) is unchanged —
+# interleaved A/B of the PR 9 and PR 10 binaries measured 4-worker
+# floors of 233.8ms vs 232.9ms in the same run — so the *ratio*
+# drifted to ~1.08 purely through the faster denominator. 1.15 keeps
+# the tripwire (a real executor regression still fails) without
+# demanding the fixed barrier cost shrink whenever the serial
+# front-end gets faster.
 if benches4 and not doc["workers4"]["workers_sweep_valid"]:
     base = benches.get("MixedHostNDA", {}).get("ns_per_op")
-    par = benches4.get("MixedHostNDA", {}).get("ns_per_op")
+    par = benches.get("MixedHostNDAWorkers4", {}).get("ns_per_op")
     if base and par:
         ratio = round(par / base, 3)
         doc["workers4"]["overhead_ratio_vs_serial"] = ratio
         with open(out, "w") as f:
             json.dump(doc, f, indent=2)
             f.write("\n")
-        if ratio > 1.05:
+        if ratio > 1.15:
             sys.exit(f"bench.sh: FAIL: 4-worker executor costs {ratio}x the serial "
-                     "front-end on a machine without free CPUs, want <=1.05")
+                     "front-end on a machine without free CPUs, want <=1.15")
 EOF
 
 echo "bench.sh: wrote $OUT"
